@@ -1,0 +1,76 @@
+"""Section V-C ablation — H2P Table parameters.
+
+The paper tunes the H2P Table's periodic decrement (20 K instructions,
+i.e. a ~0.2 MPKI marking threshold) and notes the coverage/wastage
+balance must be tuned. This bench sweeps the decrement period and the
+H2P counter threshold and verifies the trade-off they describe: faster
+decrement / higher threshold mark fewer branches (lower wastage, lower
+coverage); the paper's operating point sits in the middle.
+"""
+
+import dataclasses
+
+from bench_common import apf_config, baseline_config, save_result
+from repro.analysis.harness import sweep
+from repro.analysis.metrics import geomean_speedup
+from repro.analysis.report import render_table
+from repro.common.config import H2PTableConfig
+from repro.workloads.profiles import ALL_NAMES
+
+# (label, decrement period, threshold); the paper's point is 20k/2
+VARIANTS = (
+    ("decay_5k", 5_000, 2),
+    ("paper_20k", 20_000, 2),
+    ("decay_80k", 80_000, 2),
+    ("threshold_5", 20_000, 5),
+)
+
+
+def variant_config(period: int, threshold: int):
+    cfg = apf_config(use_tage_confidence=False)   # isolate the H2P table
+    h2p = dataclasses.replace(cfg.apf.h2p, decrement_period=period,
+                              h2p_threshold=threshold)
+    return cfg.with_apf(h2p=h2p, use_tage_confidence=False)
+
+
+def run_experiment():
+    base = sweep(ALL_NAMES, baseline_config())
+    out = {}
+    for label, period, threshold in VARIANTS:
+        out[label] = sweep(ALL_NAMES, variant_config(period, threshold))
+    return base, out
+
+
+def aggregate_marking(results):
+    marked = sum(r.counters.get("h2p_marked", 0) for r in results.values())
+    marked_mis = sum(r.counters.get("h2p_marked_mis", 0)
+                     for r in results.values())
+    mis = sum(r.cond_mispredicts for r in results.values())
+    coverage = marked_mis / mis if mis else 0.0
+    wastage = (marked - marked_mis) / marked if marked else 0.0
+    return coverage, wastage
+
+
+def test_ablation_h2p_params(benchmark):
+    base, variants = benchmark.pedantic(run_experiment, rounds=1,
+                                        iterations=1)
+    rows = []
+    stats = {}
+    for label, *_ in VARIANTS:
+        results = variants[label]
+        coverage, wastage = aggregate_marking(results)
+        speedup = geomean_speedup(results, base)
+        stats[label] = (coverage, wastage, speedup)
+        rows.append((label, f"{coverage:.1%}", f"{wastage:.1%}",
+                     f"{speedup:.4f}"))
+    text = render_table(
+        ["variant", "coverage", "wastage", "geomean speedup"], rows,
+        title="Section V-C: H2P Table parameter sweep (H2P-only APF)")
+    save_result("ablation_h2p_params", text)
+
+    # slower decay marks more branches: coverage rises with the period
+    assert stats["decay_5k"][0] <= stats["decay_80k"][0] + 0.02
+    # a higher threshold marks fewer branches than the paper's point
+    assert stats["threshold_5"][0] <= stats["paper_20k"][0] + 0.02
+    # every variant still speeds the core up
+    assert all(s[2] > 1.0 for s in stats.values())

@@ -1,0 +1,61 @@
+"""Extension — baseline predictor comparison: TAGE-SC-L vs Hashed
+Perceptron vs gshare, and APF's benefit on top of each.
+
+The paper (Section I) motivates APF with both modern predictors
+(TAGE-SC-L and Hashed Perceptron) and compares against DPIP, which was
+designed for gshare. This bench quantifies: (a) the accuracy ladder
+gshare < perceptron < TAGE on our workloads, and (b) that APF's benefit
+*grows* as the predictor gets worse (more mispredictions to cover).
+"""
+
+import dataclasses
+
+from bench_common import baseline_config, save_result
+from repro.analysis.harness import sweep
+from repro.analysis.metrics import geomean_speedup
+from repro.analysis.report import render_table
+from repro.workloads.profiles import ALL_NAMES
+
+PREDICTORS = ("tage", "perceptron", "gshare")
+
+
+def predictor_config(kind: str, apf: bool):
+    cfg = dataclasses.replace(baseline_config(), predictor_kind=kind)
+    return cfg.with_apf() if apf else cfg
+
+
+def run_experiment():
+    out = {}
+    for kind in PREDICTORS:
+        base = sweep(ALL_NAMES, predictor_config(kind, apf=False))
+        apf = sweep(ALL_NAMES, predictor_config(kind, apf=True))
+        out[kind] = (base, apf)
+    return out
+
+
+def avg_mpki(results):
+    return sum(r.branch_mpki for r in results.values()) / len(results)
+
+
+def test_ablation_predictors(benchmark):
+    by_kind = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    mpki = {}
+    apf_gain = {}
+    for kind in PREDICTORS:
+        base, apf = by_kind[kind]
+        mpki[kind] = avg_mpki(base)
+        apf_gain[kind] = geomean_speedup(apf, base)
+        rows.append((kind, f"{mpki[kind]:.2f}", f"{apf_gain[kind]:.4f}"))
+    text = render_table(
+        ["predictor", "avg branch MPKI", "APF geomean speedup"], rows,
+        title="Extension: APF benefit vs baseline predictor quality")
+    save_result("ablation_predictors", text)
+
+    # the two modern predictors are competitive; gshare is clearly worse
+    assert mpki["gshare"] > max(mpki["tage"], mpki["perceptron"])
+    assert abs(mpki["tage"] - mpki["perceptron"]) \
+        < mpki["gshare"] - min(mpki["tage"], mpki["perceptron"])
+    # APF helps on every predictor, and most where mispredicts abound
+    assert all(gain > 1.0 for gain in apf_gain.values())
+    assert apf_gain["gshare"] >= apf_gain["tage"] - 0.005

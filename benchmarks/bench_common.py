@@ -1,0 +1,86 @@
+"""Shared configurations and helpers for the per-figure/table benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation. Results are cached on disk (see repro.analysis.harness), so
+benchmarks that share configurations reuse each other's simulations. Each
+benchmark writes its rendered output to ``benchmarks/results/<name>.txt``
+and prints it, so ``pytest benchmarks/ --benchmark-only -s`` shows every
+reproduced table/figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.common.config import (
+    AlternatePathMode,
+    CoreConfig,
+    FetchScheme,
+    small_core_config,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def baseline_config() -> CoreConfig:
+    """8-wide baseline, unbanked TAGE (the reference for all speedups)."""
+    return small_core_config()
+
+
+def apf_config(**overrides) -> CoreConfig:
+    """The paper's APF design point: 13-stage pipeline, 4 buffers, banked
+    Parallel-Fetch, H2P table + TAGE confidence."""
+    return small_core_config().with_apf(**overrides)
+
+
+def dpip_fig8_config() -> CoreConfig:
+    """DPIP as compared in Fig. 8: 17-stage alternate pipeline (through
+    Allocation), 1:1 time-shared fetch, one path at a time."""
+    return small_core_config().with_apf(
+        mode=AlternatePathMode.DPIP, pipeline_depth=17,
+        fetch_scheme=FetchScheme.TIME_SHARED,
+        timeshare_main_cycles=1, timeshare_alt_cycles=1, num_buffers=0)
+
+
+def dpip_parallel_config(depth: int) -> CoreConfig:
+    """DPIP with Parallel-Fetch (Fig. 9's 15/17-stage points)."""
+    return small_core_config().with_apf(
+        mode=AlternatePathMode.DPIP, pipeline_depth=depth, num_buffers=0)
+
+
+def banked_baseline_config(banks: int) -> CoreConfig:
+    """Fig. 7: baseline core with a banked TAGE, APF disabled."""
+    return dataclasses.replace(small_core_config(),
+                               baseline_tage_banks=banks)
+
+
+def wide_core_config() -> CoreConfig:
+    """Fig. 1: 16-wide core with one extra Rename stage; backend scaled."""
+    cfg = small_core_config()
+    return cfg.with_frontend(
+        width=16, fetch_bytes_per_cycle=64, rename_stages=3,
+    ).with_backend(
+        allocate_width=16, issue_width=16, retire_width=16,
+        int_alu_units=12, mul_units=4, load_ports=6, store_ports=4,
+        branch_units=4,
+    )
+
+
+def frontend_depth_config(decode_stages: int, apf: bool) -> CoreConfig:
+    """Fig. 12b: vary frontend depth via the Decode stage count. The APF
+    pipeline always ends at the pre-RAT dependency check."""
+    cfg = small_core_config().with_frontend(decode_stages=decode_stages)
+    if not apf:
+        return cfg
+    apf_depth = cfg.frontend.pre_rat_depth
+    capacity = cfg.frontend.width * max(1, apf_depth)
+    return cfg.with_apf(pipeline_depth=apf_depth,
+                        buffer_capacity_uops=capacity)
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

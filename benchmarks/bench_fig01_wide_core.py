@@ -1,0 +1,41 @@
+"""Fig. 1 — a 16-wide OoO core (with one extra Rename cycle) vs the 8-wide
+baseline.
+
+Paper's finding: the wider core helps little on taken-branch-dense
+workloads and *hurts* high-MPKI workloads because the deeper Rename adds
+re-fill latency; overall gain is small (~2.8% in the paper's conclusion).
+"""
+
+from bench_common import baseline_config, save_result, wide_core_config
+from repro.analysis.harness import sweep
+from repro.analysis.metrics import geomean_speedup, speedups
+from repro.analysis.report import render_table
+from repro.workloads.profiles import ALL_NAMES
+
+
+def run_experiment():
+    base = sweep(ALL_NAMES, baseline_config())
+    wide = sweep(ALL_NAMES, wide_core_config())
+    return base, wide
+
+
+def test_fig01_wide_core(benchmark):
+    base, wide = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    ratio = speedups(wide, base)
+    rows = [(name, f"{base[name].ipc:.3f}", f"{wide[name].ipc:.3f}",
+             f"{ratio[name]:.3f}", f"{base[name].branch_mpki:.2f}")
+            for name in ALL_NAMES]
+    rows.append(("GEOMEAN", "", "", f"{geomean_speedup(wide, base):.3f}", ""))
+    text = render_table(
+        ["workload", "ipc_8wide", "ipc_16wide", "speedup", "base_mpki"],
+        rows, title="Fig.1: 16-wide core (+1 rename stage) vs 8-wide baseline")
+    save_result("fig01_wide_core", text)
+
+    gm = geomean_speedup(wide, base)
+    assert gm < 1.15, "a 16-wide core must not be a large win (Fig. 1)"
+    # high-MPKI workloads benefit least / may lose (paper: Fig.1 vs Fig.2)
+    high_mpki = sorted(ALL_NAMES, key=lambda n: -base[n].branch_mpki)[:4]
+    low_mpki = sorted(ALL_NAMES, key=lambda n: base[n].branch_mpki)[:4]
+    avg_high = sum(ratio[n] for n in high_mpki) / 4
+    avg_low = sum(ratio[n] for n in low_mpki) / 4
+    assert avg_high <= avg_low + 0.05

@@ -1,0 +1,30 @@
+"""Fig. 2 — baseline conditional-branch MPKI per benchmark.
+
+The reproduction target is the *ordering*: leela/deepsjeng/tc/bc high,
+perlbench/xalancbmk/x264 low — the workload calibration that every other
+experiment rests on.
+"""
+
+from bench_common import baseline_config, save_result
+from repro.analysis.harness import sweep
+from repro.analysis.report import render_table
+from repro.workloads.profiles import ALL_NAMES, GAP_NAMES
+
+
+def test_fig02_mpki(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep(ALL_NAMES, baseline_config()), rounds=1, iterations=1)
+    rows = [(name, f"{results[name].branch_mpki:.2f}",
+             f"{results[name].ipc:.3f}") for name in ALL_NAMES]
+    text = render_table(["workload", "branch_mpki", "ipc"], rows,
+                        title="Fig.2: baseline conditional branch MPKI")
+    save_result("fig02_mpki", text)
+
+    mpki = {name: results[name].branch_mpki for name in ALL_NAMES}
+    low_group = ["perlbench", "xalancbmk", "x264"]
+    high_group = ["leela", "deepsjeng", "tc", "bc"]
+    assert max(mpki[n] for n in low_group) \
+        < min(mpki[n] for n in high_group), \
+        "low-MPKI group must stay below high-MPKI group (Fig. 2 ordering)"
+    assert mpki["tc"] == max(mpki[n] for n in GAP_NAMES), \
+        "tc is the worst GAP benchmark for the predictor"

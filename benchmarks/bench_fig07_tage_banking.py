@@ -1,0 +1,43 @@
+"""Fig. 7 — effect of TAGE banking on *baseline* performance (no APF).
+
+Paper's finding: 2 banks ≈ neutral (can even help via reduced aliasing);
+4 and 8 banks cost ~0.5% on average from capacity contention, with
+exchange2 hurt most.
+"""
+
+from bench_common import banked_baseline_config, baseline_config, save_result
+from repro.analysis.harness import sweep
+from repro.analysis.metrics import geomean_speedup, speedups
+from repro.analysis.report import render_table
+from repro.workloads.profiles import ALL_NAMES
+
+
+def run_experiment():
+    base = sweep(ALL_NAMES, baseline_config())
+    banked = {banks: sweep(ALL_NAMES, banked_baseline_config(banks))
+              for banks in (2, 4, 8)}
+    return base, banked
+
+
+def test_fig07_tage_banking(benchmark):
+    base, banked = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for name in ALL_NAMES:
+        rows.append((name,
+                     *(f"{banked[b][name].ipc / base[name].ipc:.3f}"
+                       for b in (2, 4, 8)),
+                     f"{banked[4][name].branch_mpki - base[name].branch_mpki:+.2f}"))
+    geo = {b: geomean_speedup(banked[b], base) for b in (2, 4, 8)}
+    rows.append(("GEOMEAN", *(f"{geo[b]:.3f}" for b in (2, 4, 8)), ""))
+    text = render_table(
+        ["workload", "2 banks", "4 banks", "8 banks", "d_mpki@4"],
+        rows, title="Fig.7: TAGE banking vs un-banked baseline (perf rel.)")
+    save_result("fig07_tage_banking", text)
+
+    # banking must be roughly neutral-to-small-cost (paper: ~ -0.5%)
+    assert 0.95 < geo[4] <= 1.02
+    assert 0.94 < geo[8] <= 1.02
+    # average MPKI cost of 4 banks stays small (paper: ~0.1 MPKI)
+    avg_delta = sum(banked[4][n].branch_mpki - base[n].branch_mpki
+                    for n in ALL_NAMES) / len(ALL_NAMES)
+    assert avg_delta < 1.0

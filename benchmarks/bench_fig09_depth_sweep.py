@@ -1,0 +1,57 @@
+"""Fig. 9 — impact of alternate-path pipeline depth on performance.
+
+Six configurations: APF at 3/7/11/13 stages, then DPIP-with-Parallel-Fetch
+at 15/17 stages (past RAT access). Paper's findings: performance rises
+with APF depth, peaks at 13 (pre-RAT), then drops steeply at the 13->15
+transition because processing past Rename collapses coverage; 17 is
+slightly better than 15 but stays below APF-13 (and near APF-7).
+"""
+
+from bench_common import (
+    apf_config,
+    baseline_config,
+    dpip_parallel_config,
+    save_result,
+)
+from repro.analysis.harness import sweep
+from repro.analysis.metrics import geomean_speedup
+from repro.analysis.report import render_table
+from repro.workloads.profiles import ALL_NAMES
+
+APF_DEPTHS = (3, 7, 11, 13)
+DPIP_DEPTHS = (15, 17)
+
+
+def config_for_depth(depth: int):
+    if depth <= 13:
+        return apf_config(pipeline_depth=depth,
+                          buffer_capacity_uops=8 * depth)
+    return dpip_parallel_config(depth)
+
+
+def run_experiment():
+    base = sweep(ALL_NAMES, baseline_config())
+    by_depth = {depth: sweep(ALL_NAMES, config_for_depth(depth))
+                for depth in APF_DEPTHS + DPIP_DEPTHS}
+    return base, by_depth
+
+
+def test_fig09_depth_sweep(benchmark):
+    base, by_depth = benchmark.pedantic(run_experiment, rounds=1,
+                                        iterations=1)
+    geo = {depth: geomean_speedup(results, base)
+           for depth, results in by_depth.items()}
+    rows = [(f"{d} stages" + (" (DPIP)" if d > 13 else " (APF)"),
+             f"{geo[d]:.4f}") for d in APF_DEPTHS + DPIP_DEPTHS]
+    text = render_table(["alternate pipeline depth", "geomean speedup"],
+                        rows, title="Fig.9: alternate path pipeline depth")
+    save_result("fig09_depth_sweep", text)
+
+    # monotone improvement up to 13 stages
+    assert geo[3] <= geo[7] + 0.005
+    assert geo[7] <= geo[13] + 0.005
+    # 13 is the sweet spot: the 13 -> 15 transition drops
+    assert geo[13] > geo[15]
+    assert geo[13] > geo[17]
+    # DPIP-17's best is in the neighbourhood of shallow APF (paper: ~APF-7)
+    assert geo[17] <= geo[13]

@@ -1,0 +1,48 @@
+"""Fig. 10 — misprediction coverage: % of conditional-branch mispredicts
+by how many cycles of re-fill penalty the alternate path saved.
+
+Paper's findings: shallow pipelines save few cycles for ~80% of
+mispredicts; deeper APF pipelines shift weight into high-savings buckets
+while the 0-cycle (pipeline busy) share grows; past 13 stages (DPIP)
+coverage collapses — most mispredicts see no saving at all.
+"""
+
+from bench_common import save_result
+from bench_fig09_depth_sweep import APF_DEPTHS, DPIP_DEPTHS, config_for_depth
+from repro.analysis.harness import sweep
+from repro.analysis.metrics import BUCKET_LABELS, coverage_buckets
+from repro.analysis.report import render_table
+from repro.workloads.profiles import ALL_NAMES
+
+
+def run_experiment():
+    return {depth: sweep(ALL_NAMES, config_for_depth(depth))
+            for depth in APF_DEPTHS + DPIP_DEPTHS}
+
+
+def test_fig10_coverage(benchmark):
+    by_depth = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    buckets = {depth: coverage_buckets(results.values())
+               for depth, results in by_depth.items()}
+    rows = []
+    for depth in APF_DEPTHS + DPIP_DEPTHS:
+        label = f"{depth}" + ("(DPIP)" if depth > 13 else "")
+        rows.append((label, *(f"{buckets[depth][b]:.1%}"
+                              for b in BUCKET_LABELS)))
+    text = render_table(["depth"] + list(BUCKET_LABELS), rows,
+                        title="Fig.10: mispredicts by re-fill cycles saved")
+    save_result("fig10_coverage", text)
+
+    def covered(depth):
+        """Fraction of mispredicts with any saving at all."""
+        return sum(buckets[depth][b] for b in BUCKET_LABELS[2:])
+
+    # deeper APF pipelines shift weight into the high-savings buckets
+    assert buckets[13]["13+"] > buckets[7]["13+"]
+    assert buckets[7]["5-8"] + buckets[7]["9-12"] + buckets[7]["13+"] \
+        <= buckets[13]["5-8"] + buckets[13]["9-12"] + buckets[13]["13+"] + 0.05
+    # shallow pipelines cover more branches (less starvation)
+    assert covered(3) >= covered(13) - 0.05
+    # the 13 -> 15 transition collapses coverage (DPIP restriction)
+    assert covered(15) < covered(13)
+    assert covered(17) < covered(13)

@@ -1,0 +1,40 @@
+"""Fig. 12(a) — sweeping the number of Alternate Path Buffers.
+
+Paper's finding: even one buffer captures most of the benefit (buffers
+free quickly as branches resolve); returns diminish beyond a few.
+"""
+
+from bench_common import apf_config, baseline_config, save_result
+from repro.analysis.harness import sweep
+from repro.analysis.metrics import geomean_speedup
+from repro.analysis.report import render_table
+from repro.workloads.profiles import ALL_NAMES
+
+BUFFER_COUNTS = (0, 1, 2, 4, 8)
+
+
+def run_experiment():
+    base = sweep(ALL_NAMES, baseline_config())
+    by_buffers = {count: sweep(ALL_NAMES, apf_config(num_buffers=count))
+                  for count in BUFFER_COUNTS}
+    return base, by_buffers
+
+
+def test_fig12a_buffers(benchmark):
+    base, by_buffers = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
+    geo = {count: geomean_speedup(results, base)
+           for count, results in by_buffers.items()}
+    rows = [(str(count), f"{geo[count]:.4f}") for count in BUFFER_COUNTS]
+    text = render_table(["alternate path buffers", "geomean speedup"],
+                        rows, title="Fig.12a: Alternate Path Buffer sweep")
+    save_result("fig12a_buffers", text)
+
+    # even one buffer helps significantly over none
+    assert geo[1] > geo[0]
+    # diminishing returns: the 1->8 gain is modest vs the 0->1 gain
+    gain_first = geo[1] - geo[0]
+    gain_rest = geo[8] - geo[1]
+    assert gain_rest <= gain_first + 0.01
+    # more buffers never hurt much
+    assert geo[8] >= geo[1] - 0.01

@@ -1,0 +1,53 @@
+"""Table II — mispredictions detected by the H2P Table vs TAGE confidence.
+
+Coverage (specificity): % of mispredicted branches that were marked.
+Wastage (1 - PVN):      % of marked branches that did NOT mispredict.
+
+Paper's numbers: H2P Table 95.4% coverage / 89.6% wastage; TAGE
+confidence 56.3% coverage / 74.5% wastage. The reproduction target is the
+relationship: the H2P table covers far more but wastes far more; TAGE
+confidence is the more precise, lower-coverage filter.
+"""
+
+from bench_common import baseline_config, save_result
+from repro.analysis.harness import sweep
+from repro.analysis.report import render_table
+from repro.common.statistics import ratio
+from repro.workloads.profiles import ALL_NAMES
+
+
+def aggregate(results):
+    totals = {"mis": 0, "h2p_marked": 0, "h2p_marked_mis": 0,
+              "lowconf_marked": 0, "lowconf_marked_mis": 0}
+    for result in results.values():
+        totals["mis"] += result.cond_mispredicts
+        for key in list(totals)[1:]:
+            totals[key] += result.counters.get(key, 0)
+    return totals
+
+
+def test_table2_h2p_quality(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep(ALL_NAMES, baseline_config()), rounds=1, iterations=1)
+    totals = aggregate(results)
+    h2p_cov = ratio(totals["h2p_marked_mis"], totals["mis"])
+    h2p_waste = ratio(totals["h2p_marked"] - totals["h2p_marked_mis"],
+                      totals["h2p_marked"])
+    conf_cov = ratio(totals["lowconf_marked_mis"], totals["mis"])
+    conf_waste = ratio(totals["lowconf_marked"]
+                       - totals["lowconf_marked_mis"],
+                       totals["lowconf_marked"])
+    rows = [
+        ("H2P Table", f"{h2p_cov:.1%}", f"{h2p_waste:.1%}"),
+        ("TAGE confidence", f"{conf_cov:.1%}", f"{conf_waste:.1%}"),
+    ]
+    text = render_table(
+        ["marker", "coverage (specificity)", "wastage (1-PVN)"], rows,
+        title="Table II: H2P Table vs TAGE confidence")
+    save_result("table2_h2p_quality", text)
+
+    # the paper's qualitative relationships
+    assert h2p_cov > conf_cov, "H2P table must cover more mispredictions"
+    assert h2p_waste > conf_waste, "TAGE confidence must be more precise"
+    assert h2p_cov > 0.6, "H2P table is built for high coverage"
+    assert conf_waste < 0.95

@@ -1,0 +1,50 @@
+"""Table III — the simulated system configuration.
+
+Prints the baseline core parameters at both simulation scales, plus APF's
+structure inventory (storage sizes match Section V-F/V-I: 104-uop buffers,
+16-entry APF fetch queue, 20-entry shadow branch queue, 4-entry shadow
+RAS).
+"""
+
+from bench_common import apf_config, save_result
+from repro.analysis.area import OverheadModel
+from repro.analysis.report import render_table
+from repro.common.config import describe, paper_core_config, small_core_config
+
+
+def build_tables():
+    rows = []
+    for scale, config in (("small", small_core_config()),
+                          ("paper", paper_core_config())):
+        for key, value in describe(config).items():
+            rows.append((scale, key, value))
+    apf = apf_config()
+    overheads = OverheadModel(apf)
+    for name, budget in overheads.apf_storage().items():
+        rows.append(("apf", name, f"{budget.bytes} B"))
+    rows.append(("apf", "total APF storage",
+                 f"{overheads.total_apf_storage_bytes()} B"))
+    rows.append(("apf", "APF logic area",
+                 f"{overheads.logic_area_fraction():.1%} of core"))
+    rows.append(("apf", "true 16-wide core area",
+                 f"{overheads.wide_core_area_fraction():.0%} of core"))
+    return rows
+
+
+def test_table3_config(benchmark):
+    rows = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    text = render_table(["scale", "component", "value"], rows,
+                        title="Table III: system configuration")
+    save_result("table3_config", text)
+
+    apf = apf_config()
+    assert apf.apf.buffer_capacity_uops == 104
+    assert apf.apf.shadow_branch_queue_entries == 20
+    assert apf.apf.shadow_ras_entries == 4
+    assert apf.frontend.depth == 15
+    assert apf.frontend.pre_rat_depth == 13
+    overheads = OverheadModel(apf)
+    # Section V-I: buffers ~3.2KB total at paper scale (4 x ~800B);
+    # APF logic ~2% of core area, far below a true 16-wide core's ~20%
+    assert overheads.logic_area_fraction() < 0.05
+    assert overheads.wide_core_area_fraction() >= 0.15

@@ -1,0 +1,31 @@
+"""Table IV — percentage of alternate-path fetch cycles spent in bank
+conflicts, per benchmark, for the banked Parallel-Fetch scheme.
+
+Paper's finding: well below ~25% for most benchmarks (the low-PC-bit
+hashes keep the two nearby paths on different banks); bfs and tc are the
+outliers whose loop patterns defeat the hash.
+"""
+
+from bench_common import apf_config, save_result
+from repro.analysis.harness import sweep
+from repro.analysis.report import render_table
+from repro.workloads.profiles import ALL_NAMES
+
+
+def test_table4_bank_conflicts(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep(ALL_NAMES, apf_config()), rounds=1, iterations=1)
+    fractions = {name: results[name].apf_conflict_fraction()
+                 for name in ALL_NAMES}
+    rows = [(name, f"{fractions[name]:.1%}") for name in ALL_NAMES]
+    avg = sum(fractions.values()) / len(fractions)
+    rows.append(("MEAN", f"{avg:.1%}"))
+    text = render_table(["workload", "APF cycles in bank conflicts"], rows,
+                        title="Table IV: alternate-path bank conflicts")
+    save_result("table4_bank_conflicts", text)
+
+    # conflicts exist but don't dominate
+    assert 0.0 < avg < 0.6
+    # tc is among the most conflict-prone workloads (paper: 44%, worst)
+    worst_three = sorted(fractions, key=fractions.get)[-3:]
+    assert "tc" in worst_three

@@ -1,0 +1,51 @@
+"""Methodology table — workload characterisation (Section VI-B support).
+
+Prints the per-benchmark properties the calibration rests on: branch
+densities, footprints, basic-block sizes, and the ILP proxy. Checks the
+qualitative separations the paper's workload discussion relies on.
+"""
+
+from bench_common import save_result
+from repro.analysis.characterize import characterize
+from repro.analysis.report import render_table
+from repro.workloads.profiles import ALL_NAMES, workload_trace
+
+TRACE_LEN = 30_000
+
+
+def run_experiment():
+    return {name: characterize(workload_trace(name, TRACE_LEN))
+            for name in ALL_NAMES}
+
+
+def test_workload_characterization(benchmark):
+    profiles = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for name in ALL_NAMES:
+        p = profiles[name]
+        rows.append((name,
+                     f"{1000 * p.cond_branch_density:.0f}",
+                     f"{p.taken_density:.3f}",
+                     f"{p.mean_basic_block:.1f}",
+                     f"{p.code_footprint_bytes // 1024}K",
+                     f"{p.data_working_set_bytes // 1024}K",
+                     f"{p.ilp_proxy:.1f}"))
+    text = render_table(
+        ["workload", "condbr/kuop", "taken", "bb_uops", "code", "data",
+         "ilp"],
+        rows, title="Workload characterisation (methodology)")
+    save_result("workload_characterization", text)
+
+    p = profiles
+    # interpreter/compiler substitutes carry the large code footprints
+    assert p["gcc"].code_footprint_bytes > p["leela"].code_footprint_bytes
+    # mcf is the data-heavyweight
+    assert p["mcf"].data_working_set_bytes \
+        == max(pr.data_working_set_bytes for pr in p.values())
+    # tc is the branch-densest tight-loop outlier
+    assert p["tc"].cond_branch_density == max(
+        pr.cond_branch_density for pr in p.values())
+    top2_taken = sorted(p.values(), key=lambda pr: -pr.taken_density)[:2]
+    assert p["tc"] in top2_taken
+    # x264 has the longest straight-line blocks among SPEC
+    assert p["x264"].mean_basic_block > p["leela"].mean_basic_block

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Design-space exploration: APF pipeline depth x alternate path buffers.
+
+Sweeps the two central design knobs on one workload and prints the
+speedup grid — the interactive version of the paper's Fig. 9 / Fig. 12a
+trade-off discussion. Deeper pipelines raise per-branch savings but starve
+other H2P branches; more buffers recover coverage.
+
+Run:  python examples/design_space.py [workload]
+"""
+
+import sys
+
+from repro import run_benchmark, small_core_config
+
+DEPTHS = (3, 7, 13)
+BUFFERS = (0, 1, 4)
+WARMUP = 25_000
+MEASURE = 15_000
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "deepsjeng"
+    base = run_benchmark(workload, warmup=WARMUP, measure=MEASURE)
+    print(f"APF design space on {workload!r} "
+          f"(baseline IPC {base.ipc:.3f}, MPKI {base.branch_mpki:.2f})\n")
+
+    corner = "depth / buffers"
+    header = f"{corner:>16s}" + "".join(f"{b:>10d}" for b in BUFFERS)
+    print(header)
+    print("-" * len(header))
+    best = (1.0, None)
+    for depth in DEPTHS:
+        cells = []
+        for buffers in BUFFERS:
+            config = small_core_config().with_apf(
+                pipeline_depth=depth, num_buffers=buffers,
+                buffer_capacity_uops=8 * depth)
+            result = run_benchmark(workload, config=config,
+                                   warmup=WARMUP, measure=MEASURE)
+            speedup = result.speedup_over(base)
+            cells.append(f"{speedup:>10.3f}")
+            if speedup > best[0]:
+                best = (speedup, (depth, buffers))
+        print(f"{depth:>16d}" + "".join(cells))
+
+    print()
+    if best[1] is not None:
+        depth, buffers = best[1]
+        print(f"Best point: depth={depth}, buffers={buffers} "
+              f"-> {best[0]:.3f}x (the paper's design point is depth=13, "
+              f"buffers=4)")
+    else:
+        print("No configuration beat the baseline on this workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Graph kernel study: why GAP-style workloads stress the frontend.
+
+Runs the six graph kernels (bfs/sssp/pr/cc/bc/tc) on the baseline core and
+with APF, relating each kernel's branch behaviour (MPKI, taken-branch
+density, data-dependent branches) to the speedup APF delivers — the
+relationship behind the GAP half of the paper's Fig. 8.
+
+Run:  python examples/graph_kernel_study.py
+"""
+
+from repro import GAP_NAMES, run_benchmark, small_core_config
+from repro.workloads import workload_trace
+
+WARMUP = 40_000
+MEASURE = 25_000
+
+
+def main() -> None:
+    apf_config = small_core_config().with_apf()
+
+    print("GAP kernels on the simulated 8-wide core "
+          f"({WARMUP}+{MEASURE} instructions each)\n")
+    header = (f"{'kernel':8s}{'MPKI':>7s}{'taken/uop':>11s}"
+              f"{'base IPC':>10s}{'APF':>7s}{'conflicts':>11s}")
+    print(header)
+    print("-" * len(header))
+
+    for name in GAP_NAMES:
+        trace = workload_trace(name, WARMUP + MEASURE)
+        base = run_benchmark(name, warmup=WARMUP, measure=MEASURE)
+        apf = run_benchmark(name, config=apf_config,
+                            warmup=WARMUP, measure=MEASURE)
+        print(f"{name:8s}{base.branch_mpki:>7.2f}"
+              f"{trace.taken_branch_density():>11.3f}"
+              f"{base.ipc:>10.3f}"
+              f"{apf.speedup_over(base):>7.3f}"
+              f"{apf.apf_conflict_fraction():>11.1%}")
+
+    print()
+    print("Reading the table:")
+    print(" * tc's adjacency-intersection merge loop is the hardest to")
+    print("   predict (highest MPKI) and also the most bank-conflict-prone")
+    print("   (tight taken-dense loop), mirroring the paper's Table IV.")
+    print(" * pr is arithmetic-bound: mispredicts exist but sit off the")
+    print("   critical path, so APF gains less than MPKI alone suggests.")
+    print(" * bfs/sssp/cc sit in between: 'visited' and relaxation tests")
+    print("   are data-dependent, and APF recovers part of each re-fill.")
+
+
+if __name__ == "__main__":
+    main()

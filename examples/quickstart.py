@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the baseline core and on a core
+with Alternate Path Fetch, and compare.
+
+Run:  python examples/quickstart.py [workload]
+
+Workloads: perlbench gcc mcf omnetpp xalancbmk x264 deepsjeng leela
+           exchange2 xz bfs sssp pr cc bc tc
+"""
+
+import sys
+
+from repro import run_benchmark, small_core_config
+
+WARMUP = 30_000
+MEASURE = 20_000
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "leela"
+
+    print(f"Simulating {workload!r}: {WARMUP} warmup + {MEASURE} measured "
+          f"instructions per configuration...\n")
+
+    baseline = run_benchmark(workload, warmup=WARMUP, measure=MEASURE)
+    apf = run_benchmark(workload, config=small_core_config().with_apf(),
+                        warmup=WARMUP, measure=MEASURE)
+
+    print(f"{'':24s}{'baseline':>12s}{'APF':>12s}")
+    print(f"{'IPC':24s}{baseline.ipc:>12.3f}{apf.ipc:>12.3f}")
+    print(f"{'branch MPKI':24s}{baseline.branch_mpki:>12.2f}"
+          f"{apf.branch_mpki:>12.2f}")
+    print(f"{'cycles':24s}{baseline.cycles:>12d}{apf.cycles:>12d}")
+    print()
+    print(f"APF speedup: {apf.speedup_over(baseline):.3f}x")
+    restores = apf.counters.get("apf_restores", 0)
+    recoveries = apf.counters.get("recoveries", 1)
+    print(f"APF restored the alternate path on {restores} of "
+          f"{recoveries} misprediction recoveries "
+          f"({restores / max(1, recoveries):.0%}).")
+    saved = apf.refill_saved
+    if saved.total():
+        print(f"Mean re-fill cycles saved per covered misprediction: "
+              f"{saved.mean():.1f}")
+
+
+if __name__ == "__main__":
+    main()

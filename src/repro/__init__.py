@@ -1,0 +1,35 @@
+"""repro - a full reproduction of "Alternate Path Fetch" (ISCA 2024).
+
+Public API highlights:
+
+- :func:`repro.run_benchmark` / :class:`repro.Simulator` - run a workload
+  on a configured core and get measured IPC / MPKI / APF statistics.
+- :func:`repro.small_core_config` - the fast simulation scale;
+  :func:`repro.paper_core_config` - Table III scale.
+- ``CoreConfig.with_apf(...)`` - enable Alternate Path Fetch with any of
+  the paper's parameters (pipeline depth, buffers, fetch scheme, DPIP
+  mode, TAGE banking).
+- :mod:`repro.workloads` - 16 benchmark substitutes (SPEC CPU2017int
+  profiles + real GAP-style graph kernels).
+"""
+
+from repro.common.config import (
+    APFConfig,
+    AlternatePathMode,
+    CoreConfig,
+    FetchScheme,
+    paper_core_config,
+    small_core_config,
+)
+from repro.common.statistics import geomean
+from repro.core.simulator import SimResult, Simulator, run_benchmark
+from repro.workloads.profiles import ALL_NAMES, GAP_NAMES, SPEC_NAMES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_NAMES", "APFConfig", "AlternatePathMode", "CoreConfig",
+    "FetchScheme", "GAP_NAMES", "SPEC_NAMES", "SimResult", "Simulator",
+    "geomean", "paper_core_config", "run_benchmark", "small_core_config",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Workload characterisation: static and dynamic trace analysis.
+
+Computes the properties the paper's methodology cares about — conditional
+branch density, taken-branch density, branch-class mix, instruction
+footprint, data working set, and an ILP proxy — so workload calibration
+(Fig. 2) and claims like "tc is a tight taken-dense loop" are measurable
+rather than anecdotal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.isa.opcodes import NUM_ARCH_REGS, BranchKind, Op
+from repro.workloads.trace import DynamicTrace
+
+__all__ = ["TraceProfile", "characterize"]
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of one dynamic trace."""
+
+    instructions: int
+    cond_branch_density: float      # conditional branches per uop
+    taken_density: float            # taken branches per uop
+    branch_mix: Dict[str, float]    # BranchKind name -> fraction of uops
+    load_density: float
+    store_density: float
+    code_footprint_bytes: int
+    data_working_set_bytes: int
+    mean_basic_block: float         # uops per branch-terminated run
+    ilp_proxy: float                # mean register dependence distance
+
+    def summary_rows(self):
+        return [
+            ("instructions", self.instructions),
+            ("cond branches / kuop", f"{1000 * self.cond_branch_density:.1f}"),
+            ("taken density", f"{self.taken_density:.3f}"),
+            ("loads / uop", f"{self.load_density:.3f}"),
+            ("stores / uop", f"{self.store_density:.3f}"),
+            ("code footprint", f"{self.code_footprint_bytes} B"),
+            ("data working set", f"{self.data_working_set_bytes} B"),
+            ("mean basic block", f"{self.mean_basic_block:.1f} uops"),
+            ("ILP proxy (dep. distance)", f"{self.ilp_proxy:.1f}"),
+        ]
+
+
+def characterize(trace: DynamicTrace) -> TraceProfile:
+    """Analyse a dynamic trace."""
+    if not len(trace):
+        raise ValueError("cannot characterise an empty trace")
+    total = len(trace)
+    kind_counts: Counter = Counter()
+    loads = stores = taken = cond = 0
+    pcs = set()
+    lines = set()
+    blocks = 1
+    # register dependence distance: how many uops back the most recent
+    # producer of each consumed register is (large distance => more ILP)
+    last_writer = [-1] * NUM_ARCH_REGS
+    distance_sum = 0
+    distance_count = 0
+
+    for index, (uop, was_taken) in enumerate(zip(trace.uops, trace.taken)):
+        pcs.add(uop.pc)
+        if uop.kind is not BranchKind.NOT_BRANCH:
+            kind_counts[uop.kind.name] += 1
+            if uop.is_cond_branch:
+                cond += 1
+            if was_taken:
+                taken += 1
+                blocks += 1
+        if uop.op is Op.LOAD:
+            loads += 1
+        elif uop.op is Op.STORE:
+            stores += 1
+        if uop.is_mem:
+            lines.add(trace.mem_addr[index] >> 6)
+        for src in uop.sources():
+            writer = last_writer[src]
+            if writer >= 0:
+                distance_sum += index - writer
+                distance_count += 1
+        if uop.dest >= 0:
+            last_writer[uop.dest] = index
+
+    return TraceProfile(
+        instructions=total,
+        cond_branch_density=cond / total,
+        taken_density=taken / total,
+        branch_mix={kind: count / total
+                    for kind, count in sorted(kind_counts.items())},
+        load_density=loads / total,
+        store_density=stores / total,
+        code_footprint_bytes=4 * len(pcs),
+        data_working_set_bytes=64 * len(lines),
+        mean_basic_block=total / blocks,
+        ilp_proxy=(distance_sum / distance_count
+                   if distance_count else 0.0),
+    )

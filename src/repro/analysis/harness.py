@@ -1,0 +1,134 @@
+"""Experiment harness with a persistent on-disk result cache.
+
+Every benchmark (one per paper table/figure) funnels its simulations
+through :func:`run_cached`, keyed by (workload, config, windows, seed).
+Experiments that share configurations — e.g. the Fig. 8 APF runs feeding
+Table IV's bank-conflict numbers — therefore reuse each other's results,
+and re-running a bench after an unrelated code change is cheap.
+
+Set ``REPRO_BENCH_SCALE=full`` for longer windows (slower, smoother
+numbers); the default "small" scale reproduces every qualitative result in
+minutes on one CPU.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.config import CoreConfig
+from repro.common.statistics import Histogram
+from repro.core.simulator import SimResult, Simulator
+
+__all__ = ["bench_windows", "config_signature", "run_cached",
+           "sweep", "cache_path"]
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+_SCALE_ENV = "REPRO_BENCH_SCALE"
+
+#: (warmup, measure) instruction windows per scale
+_WINDOWS = {
+    "small": (40_000, 25_000),
+    "full": (100_000, 60_000),
+}
+
+
+def bench_windows() -> Tuple[int, int]:
+    scale = os.environ.get(_SCALE_ENV, "small")
+    if scale not in _WINDOWS:
+        raise ValueError(f"unknown {_SCALE_ENV}={scale!r}; "
+                         f"choose from {sorted(_WINDOWS)}")
+    return _WINDOWS[scale]
+
+
+def cache_path() -> Path:
+    root = os.environ.get(_CACHE_ENV)
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def config_signature(config: CoreConfig) -> str:
+    """Stable signature of a frozen config dataclass tree."""
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:20]
+
+
+def _result_key(workload: str, config: CoreConfig, warmup: int,
+                measure: int, seed: int) -> str:
+    return f"{workload}-{warmup}-{measure}-{seed}-{config_signature(config)}"
+
+
+def _serialize(result: SimResult) -> dict:
+    return {
+        "workload": result.workload,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "branch_mpki": result.branch_mpki,
+        "cond_branches": result.cond_branches,
+        "cond_mispredicts": result.cond_mispredicts,
+        "counters": result.counters,
+        "refill_saved": {str(k): v
+                         for k, v in result.refill_saved.buckets.items()},
+    }
+
+
+def _deserialize(payload: dict) -> SimResult:
+    hist = Histogram()
+    for bucket, count in payload.get("refill_saved", {}).items():
+        hist.add(int(bucket), count)
+    return SimResult(
+        workload=payload["workload"],
+        instructions=payload["instructions"],
+        cycles=payload["cycles"],
+        ipc=payload["ipc"],
+        branch_mpki=payload["branch_mpki"],
+        cond_branches=payload["cond_branches"],
+        cond_mispredicts=payload["cond_mispredicts"],
+        counters=payload["counters"],
+        refill_saved=hist,
+    )
+
+
+def run_cached(workload: str, config: CoreConfig,
+               warmup: Optional[int] = None, measure: Optional[int] = None,
+               seed: int = 1234, use_cache: bool = True) -> SimResult:
+    """Run one simulation, consulting the on-disk cache first."""
+    default_warmup, default_measure = bench_windows()
+    warmup = default_warmup if warmup is None else warmup
+    measure = default_measure if measure is None else measure
+    key = _result_key(workload, config, warmup, measure, seed)
+    path = cache_path() / f"{key}.json"
+    if use_cache and path.exists():
+        with path.open() as handle:
+            return _deserialize(json.load(handle))
+    result = Simulator(config, seed=seed).run(workload, warmup, measure)
+    if use_cache:
+        with path.open("w") as handle:
+            json.dump(_serialize(result), handle)
+    return result
+
+
+def sweep(workloads: Iterable[str], config: CoreConfig,
+          warmup: Optional[int] = None, measure: Optional[int] = None,
+          seed: int = 1234) -> Dict[str, SimResult]:
+    """Run one configuration over many workloads."""
+    return {name: run_cached(name, config, warmup, measure, seed)
+            for name in workloads}
+
+
+def sweep_configs(workloads: Iterable[str],
+                  configs: Dict[str, CoreConfig],
+                  warmup: Optional[int] = None,
+                  measure: Optional[int] = None,
+                  seed: int = 1234) -> Dict[str, Dict[str, SimResult]]:
+    """Run {config_name: config} over all workloads."""
+    names: List[str] = list(workloads)
+    return {cfg_name: sweep(names, cfg, warmup, measure, seed)
+            for cfg_name, cfg in configs.items()}

@@ -1,0 +1,199 @@
+"""Pipeline event tracing and text visualisation ("pipeview").
+
+Attach a :class:`PipeTracer` to an :class:`~repro.core.ooo_core.OoOCore`
+before running and it records per-uop lifecycle events (fetch, allocate,
+done, retire/squash) plus recovery/restore events. ``render()`` draws a
+gem5-pipeview-style text timeline — the tool you reach for when debugging
+why an APF restore did or didn't save re-fill cycles.
+
+The tracer works by wrapping the core's stage methods; it costs time, so
+it is strictly a debugging aid (never enabled in benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.ooo_core import OoOCore
+from repro.core.uops import DynUop
+
+__all__ = ["PipeTracer", "UopTimeline"]
+
+
+class UopTimeline:
+    """Recorded lifecycle of one dynamic uop."""
+
+    __slots__ = ("seq", "pc", "op", "fetch_cycle", "allocate_cycle",
+                 "done_cycle", "retire_cycle", "squash_cycle",
+                 "wrong_path", "restored", "is_branch", "mispredict")
+
+    def __init__(self, du: DynUop, fetch_cycle: int) -> None:
+        self.seq = du.seq
+        self.pc = du.static.pc
+        self.op = du.static.op.name
+        self.fetch_cycle = fetch_cycle
+        self.allocate_cycle: Optional[int] = None
+        self.done_cycle: Optional[int] = None
+        self.retire_cycle: Optional[int] = None
+        self.squash_cycle: Optional[int] = None
+        self.wrong_path = du.wrong_path
+        self.restored = du.restored
+        self.is_branch = du.static.is_branch
+        self.mispredict = du.branch.mispredict if du.branch else False
+
+    @property
+    def final_cycle(self) -> int:
+        for value in (self.retire_cycle, self.squash_cycle,
+                      self.done_cycle, self.allocate_cycle):
+            if value is not None:
+                return value
+        return self.fetch_cycle
+
+
+class PipeTracer:
+    """Wraps a core's pipeline stages to record uop timelines."""
+
+    def __init__(self, core: OoOCore, max_uops: int = 100_000) -> None:
+        self.core = core
+        self.max_uops = max_uops
+        self.timelines: Dict[int, UopTimeline] = {}
+        self.recoveries: List[int] = []      # cycles of recovery events
+        self.restores: List[int] = []        # cycles of APF restores
+        self._install()
+
+    # -- instrumentation -----------------------------------------------------
+
+    def _install(self) -> None:
+        core = self.core
+        original_fetch = core._fetch_and_apf
+        original_allocate = core._allocate_uop
+        original_retire = core._retire
+        original_resolve = core._resolve
+        tracer = self
+
+        def traced_fetch():
+            original_fetch()
+            if core.ftq:
+                bundle, _index = core.ftq[-1]
+                if bundle.fetch_cycle == core.now:
+                    for du in bundle.uops:
+                        tracer._record(du, core.now)
+
+        def traced_allocate(du):
+            original_allocate(du)
+            timeline = tracer.timelines.get(du.seq)
+            if timeline is None:
+                timeline = tracer._record(du, core.now)
+            if timeline is not None:
+                timeline.allocate_cycle = core.now
+                timeline.done_cycle = du.done_cycle
+
+        def traced_retire():
+            before = list(core.rob)
+            count_before = core.retired
+            original_retire()
+            for du in before[:core.retired - count_before]:
+                timeline = tracer.timelines.get(du.seq)
+                if timeline is not None:
+                    timeline.retire_cycle = core.now
+
+        def traced_resolve(rec):
+            was_mispredict = rec.mispredict and not rec.resolved
+            restores_before = core.stats.get("apf_restores")
+            original_resolve(rec)
+            if was_mispredict:
+                tracer.recoveries.append(core.now)
+                if core.stats.get("apf_restores") != restores_before:
+                    tracer.restores.append(core.now)
+                for seq, timeline in tracer.timelines.items():
+                    if seq > rec.seq and timeline.retire_cycle is None \
+                            and timeline.squash_cycle is None:
+                        timeline.squash_cycle = core.now
+
+        core._fetch_and_apf = traced_fetch
+        core._allocate_uop = traced_allocate
+        core._retire = traced_retire
+        core._resolve = traced_resolve
+
+    def _record(self, du: DynUop, cycle: int) -> Optional[UopTimeline]:
+        if len(self.timelines) >= self.max_uops:
+            return None
+        timeline = UopTimeline(du, cycle)
+        self.timelines[du.seq] = timeline
+        return timeline
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, start_cycle: int, end_cycle: int,
+               max_rows: int = 60) -> str:
+        """Draw the uops alive in [start_cycle, end_cycle] as a timeline.
+
+        Row glyphs: ``f`` fetch->allocate (frontend), ``a`` allocate,
+        ``=`` in backend, ``d`` done, ``R`` retire, ``x`` squashed.
+        Wrong-path rows are lower-cased ``w`` in the margin; APF-restored
+        rows get ``+``; mispredicted branches ``!``.
+        """
+        rows = []
+        span = end_cycle - start_cycle
+        if span <= 0:
+            raise ValueError("end_cycle must exceed start_cycle")
+        for timeline in sorted(self.timelines.values(),
+                               key=lambda t: t.seq):
+            if timeline.fetch_cycle > end_cycle \
+                    or timeline.final_cycle < start_cycle:
+                continue
+            if len(rows) >= max_rows:
+                break
+            rows.append(self._render_row(timeline, start_cycle, end_cycle))
+        header = (f"cycles {start_cycle}..{end_cycle} "
+                  f"({len(self.recoveries)} recoveries, "
+                  f"{len(self.restores)} APF restores in run)")
+        return "\n".join([header] + rows)
+
+    @staticmethod
+    def _glyph_at(timeline: UopTimeline, cycle: int) -> str:
+        if cycle < timeline.fetch_cycle:
+            return " "
+        if timeline.squash_cycle is not None \
+                and cycle >= timeline.squash_cycle:
+            return "x" if cycle == timeline.squash_cycle else " "
+        if timeline.retire_cycle is not None \
+                and cycle >= timeline.retire_cycle:
+            return "R" if cycle == timeline.retire_cycle else " "
+        if timeline.allocate_cycle is None:
+            return "f"
+        if cycle < timeline.allocate_cycle:
+            return "f"
+        if cycle == timeline.allocate_cycle:
+            return "a"
+        if timeline.done_cycle is not None and cycle >= timeline.done_cycle:
+            return "d"
+        return "="
+
+    def _render_row(self, timeline: UopTimeline, start: int,
+                    end: int) -> str:
+        flags = "".join((
+            "w" if timeline.wrong_path else " ",
+            "+" if timeline.restored else " ",
+            "!" if timeline.mispredict else " ",
+        ))
+        lane = "".join(self._glyph_at(timeline, cycle)
+                       for cycle in range(start, end + 1))
+        return (f"#{timeline.seq:<7d}{timeline.op:<6s}"
+                f"{timeline.pc & 0xFFFF:04x} {flags} |{lane}|")
+
+    # -- summaries -----------------------------------------------------------
+
+    def frontend_latency_histogram(self) -> Dict[int, int]:
+        """fetch->allocate latency distribution (shows re-fill bubbles and
+        the short path of restored uops)."""
+        hist: Dict[int, int] = {}
+        for timeline in self.timelines.values():
+            if timeline.allocate_cycle is None:
+                continue
+            delta = timeline.allocate_cycle - timeline.fetch_cycle
+            hist[delta] = hist.get(delta, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def restored_uop_count(self) -> int:
+        return sum(1 for t in self.timelines.values() if t.restored)

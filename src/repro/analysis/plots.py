@@ -1,0 +1,89 @@
+"""ASCII chart rendering for the reproduced figures.
+
+The paper's figures are bar charts over benchmarks or sweep points; these
+helpers render the same shapes in plain text so ``benchmarks/results/``
+contains genuinely figure-like artifacts without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "sparkline"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A horizontal bar of ``value`` out of ``scale`` in ``width`` cells."""
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    frac = cells - full
+    bar = "█" * full
+    partial = _BLOCKS[int(frac * (len(_BLOCKS) - 1))]
+    return (bar + partial).rstrip() if full < width else "█" * width
+
+
+def bar_chart(values: Mapping[str, float], title: str = "",
+              width: int = 40, baseline: float = 0.0,
+              value_format: str = "{:.3f}") -> str:
+    """Horizontal bar chart; bars start at ``baseline`` (e.g. 1.0 for
+    speedups) and negative excursions are marked with '<'."""
+    if not values:
+        return title
+    label_width = max(len(str(k)) for k in values)
+    span = max(abs(v - baseline) for v in values.values()) or 1.0
+    lines = [title] if title else []
+    for key, value in values.items():
+        delta = value - baseline
+        if delta >= 0:
+            bar = _bar(delta, span, width)
+        else:
+            bar = "<" * max(1, int(round(-delta / span * width)))
+        rendered = value_format.format(value)
+        lines.append(f"{str(key):<{label_width}}  {rendered:>8s} |{bar}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(series: Mapping[str, Mapping[str, float]],
+                      title: str = "", width: int = 30,
+                      baseline: float = 0.0,
+                      value_format: str = "{:.3f}") -> str:
+    """Multiple series over the same categories, one block per category."""
+    lines = [title] if title else []
+    categories: list = []
+    for values in series.values():
+        for key in values:
+            if key not in categories:
+                categories.append(key)
+    span = max((abs(v - baseline)
+                for values in series.values() for v in values.values()),
+               default=1.0) or 1.0
+    name_width = max(len(s) for s in series)
+    for category in categories:
+        lines.append(f"{category}:")
+        for name, values in series.items():
+            if category not in values:
+                continue
+            value = values[category]
+            delta = value - baseline
+            bar = _bar(max(0.0, delta), span, width) if delta >= 0 \
+                else "<" * max(1, int(round(-delta / span * width)))
+            rendered = value_format.format(value)
+            lines.append(f"  {name:<{name_width}} {rendered:>8s} |{bar}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend, e.g. for an IPC-over-time strip."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    ticks = "▁▂▃▄▅▆▇█"
+    return "".join(
+        ticks[min(len(ticks) - 1,
+                  int((v - lo) / span * (len(ticks) - 1)))]
+        for v in values)

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_pct"]
+
+
+def format_pct(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(series: Mapping[str, Mapping[str, float]],
+                  value_format: str = "{:.3f}", title: str = "") -> str:
+    """Render {series_name: {x_label: value}} with one row per x_label."""
+    names = list(series)
+    labels: List[str] = []
+    for values in series.values():
+        for label in values:
+            if label not in labels:
+                labels.append(label)
+    headers = ["workload"] + names
+    rows = []
+    for label in labels:
+        row = [label]
+        for name in names:
+            value = series[name].get(label)
+            row.append(value_format.format(value) if value is not None
+                       else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

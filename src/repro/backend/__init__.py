@@ -1,0 +1,5 @@
+"""Backend components: execution timing model."""
+
+from repro.backend.exec_model import ExecModel
+
+__all__ = ["ExecModel"]

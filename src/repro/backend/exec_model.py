@@ -1,0 +1,90 @@
+"""Execution timing model: functional-unit contention and latency.
+
+Timing is computed when a uop is allocated: its issue cycle is the first
+cycle at or after its operands are ready with a free slot on its FU class
+and within the global issue width. This "compute-at-allocate" style is what
+keeps a pure-Python cycle model fast while preserving the quantities APF
+cares about — most importantly *when branches resolve* relative to when
+they were predicted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+from repro.common.config import BackendConfig
+from repro.isa.opcodes import Op
+
+__all__ = ["ExecModel"]
+
+_FU_CLASS = {
+    Op.MUL: "mul",
+    Op.DIV: "div",
+    Op.MOD: "div",
+    Op.LOAD: "load",
+    Op.STORE: "store",
+    Op.BEQZ: "branch",
+    Op.BNEZ: "branch",
+    Op.BLT: "branch",
+    Op.BGE: "branch",
+    Op.JUMP: "branch",
+    Op.CALL: "branch",
+    Op.RET: "branch",
+    Op.IJUMP: "branch",
+}
+
+
+class ExecModel:
+    def __init__(self, config: BackendConfig) -> None:
+        self.config = config
+        self._ports: Dict[str, int] = {
+            "alu": config.int_alu_units,
+            "mul": config.mul_units,
+            "div": config.div_units,
+            "load": config.load_ports,
+            "store": config.store_ports,
+            "branch": config.branch_units,
+        }
+        self._latency: Dict[str, int] = {
+            "alu": config.alu_latency,
+            "mul": config.mul_latency,
+            "div": config.div_latency,
+            "load": config.agen_latency,   # cache latency added by caller
+            "store": config.agen_latency,
+            "branch": config.alu_latency,
+        }
+        # (cycle, fu_class) -> slots used ; cycle -> total issued
+        self._slots: Dict[tuple, int] = defaultdict(int)
+        self._issued: Dict[int, int] = defaultdict(int)
+        self._horizon = 0
+
+    @staticmethod
+    def fu_class(op: Op) -> str:
+        return _FU_CLASS.get(op, "alu")
+
+    def latency(self, fu: str) -> int:
+        return self._latency[fu]
+
+    def schedule(self, fu: str, ready_cycle: int) -> int:
+        """Reserve the earliest issue slot at/after ``ready_cycle``."""
+        ports = self._ports[fu]
+        width = self.config.issue_width
+        cycle = ready_cycle
+        while (self._slots[(cycle, fu)] >= ports
+               or self._issued[cycle] >= width):
+            cycle += 1
+        self._slots[(cycle, fu)] += 1
+        self._issued[cycle] += 1
+        if cycle > self._horizon:
+            self._horizon = cycle
+        return cycle
+
+    def trim(self, before_cycle: int) -> None:
+        """Forget reservations older than ``before_cycle`` (memory bound)."""
+        if len(self._issued) < 4096:
+            return
+        self._slots = defaultdict(int, {
+            key: v for key, v in self._slots.items() if key[0] >= before_cycle})
+        self._issued = defaultdict(int, {
+            cyc: v for cyc, v in self._issued.items() if cyc >= before_cycle})

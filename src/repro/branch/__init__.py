@@ -1,0 +1,22 @@
+"""Branch prediction substrate: TAGE-SC-L, gshare, BTB, RAS, H2P, banking."""
+
+from repro.branch.banking import (
+    BankedTage,
+    fetch_banks_touched,
+    icache_bank_bits,
+    tage_bank_bits,
+)
+from repro.branch.btb import BTB, BTBEntry
+from repro.branch.gshare import Gshare
+from repro.branch.h2p import H2PTable
+from repro.branch.history import SpeculativeHistory
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.ras import ReturnAddressStack, ShadowRAS
+from repro.branch.tage import CONF_HIGH, CONF_LOW, CONF_MED, Prediction, TageSCL
+
+__all__ = [
+    "BTB", "BTBEntry", "BankedTage", "CONF_HIGH", "CONF_LOW", "CONF_MED",
+    "Gshare", "H2PTable", "IndirectPredictor", "Prediction",
+    "ReturnAddressStack", "ShadowRAS", "SpeculativeHistory", "TageSCL",
+    "fetch_banks_touched", "icache_bank_bits", "tage_bank_bits",
+]

@@ -1,0 +1,79 @@
+"""Region Branch Target Buffer (paper Section V-B3).
+
+Organised as a set-associative structure over 64-byte code regions; each
+region entry records the branches discovered inside that region (offset,
+kind, target). A taken branch whose region or slot is absent causes a
+misfetch: the frontend keeps fetching sequentially until decode discovers
+the branch and re-steers, then the BTB allocates the entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import BTBConfig
+from repro.isa.opcodes import BranchKind
+
+__all__ = ["BTB", "BTBEntry"]
+
+
+class BTBEntry:
+    """One region's known branches: offset -> (kind, target)."""
+
+    __slots__ = ("region", "branches", "lru")
+
+    def __init__(self, region: int) -> None:
+        self.region = region
+        self.branches: Dict[int, Tuple[BranchKind, int]] = {}
+        self.lru = 0
+
+
+class BTB:
+    def __init__(self, config: BTBConfig) -> None:
+        self.config = config
+        self.num_sets = max(1, config.entries // config.associativity)
+        self._sets: List[List[BTBEntry]] = [[] for _ in range(self.num_sets)]
+        self._clock = 0
+        self.lookups = 0
+        self.misses = 0
+
+    def _set_index(self, region: int) -> int:
+        return region % self.num_sets
+
+    def _region(self, pc: int) -> int:
+        return pc // self.config.region_bytes
+
+    def _find(self, region: int) -> Optional[BTBEntry]:
+        for entry in self._sets[self._set_index(region)]:
+            if entry.region == region:
+                self._clock += 1
+                entry.lru = self._clock
+                return entry
+        return None
+
+    def lookup(self, pc: int) -> Optional[Tuple[BranchKind, int]]:
+        """Return (kind, target) if the branch at ``pc`` is known."""
+        self.lookups += 1
+        entry = self._find(self._region(pc))
+        if entry is None:
+            self.misses += 1
+            return None
+        hit = entry.branches.get(pc % self.config.region_bytes)
+        if hit is None:
+            self.misses += 1
+        return hit
+
+    def insert(self, pc: int, kind: BranchKind, target: int) -> None:
+        region = self._region(pc)
+        entry = self._find(region)
+        if entry is None:
+            entry = BTBEntry(region)
+            self._clock += 1
+            entry.lru = self._clock
+            bucket = self._sets[self._set_index(region)]
+            if len(bucket) >= self.config.associativity:
+                victim = min(range(len(bucket)), key=lambda i: bucket[i].lru)
+                bucket[victim] = entry
+            else:
+                bucket.append(entry)
+        entry.branches[pc % self.config.region_bytes] = (kind, target)

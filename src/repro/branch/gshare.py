@@ -1,0 +1,46 @@
+"""gshare predictor — the predictor DPIP was originally evaluated with.
+
+A single table of 2-bit saturating counters indexed by PC XOR global
+history. Exposes the same ``predict``/``update`` interface and confidence
+convention as :class:`~repro.branch.tage.TageSCL` (weak counters are low
+confidence, which is DPIP's original low-confidence selector).
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+from repro.common.config import GshareConfig
+from repro.branch.tage import CONF_HIGH, CONF_LOW, Prediction
+
+__all__ = ["Gshare"]
+
+
+class Gshare:
+    def __init__(self, config: GshareConfig, seed: int = 0) -> None:
+        del seed
+        self.config = config
+        self._table = [0] * (1 << config.log_size)  # signed -2..1
+
+    def _index(self, pc: int, ghr: int) -> int:
+        bits = self.config.log_size
+        return ((pc >> 2) ^ (ghr & mask(self.config.history_length))) & mask(bits)
+
+    def storage_bits(self) -> int:
+        return (1 << self.config.log_size) * self.config.counter_bits
+
+    def predict(self, pc: int, ghr: int, path: int = 0) -> Prediction:
+        del path
+        ctr = self._table[self._index(pc, ghr)]
+        taken = ctr >= 0
+        confidence = CONF_HIGH if ctr in (-2, 1) else CONF_LOW
+        return Prediction(taken, confidence, "gshare")
+
+    def update(self, pc: int, ghr: int, taken: bool, path: int = 0,
+               backward: bool = False) -> None:
+        del path, backward
+        idx = self._index(pc, ghr)
+        ctr = self._table[idx]
+        if taken and ctr < 1:
+            self._table[idx] = ctr + 1
+        elif not taken and ctr > -2:
+            self._table[idx] = ctr - 1

@@ -1,0 +1,138 @@
+"""The H2P Table: identifies hard-to-predict static branches (Section V-C).
+
+A 2-bank, 8-way set-associative, 128-entry structure indexed by the
+cache-line-aligned branch PC. Each entry tracks up to two H2P branches in
+one 64-byte line with a 3-bit saturating counter and a 6-bit line offset
+each. Counters are incremented on misprediction, decremented globally every
+``decrement_period`` retired instructions, and a branch is considered H2P
+while its counter exceeds ``h2p_threshold``. Counter-zero entries are
+preferred victims.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import H2PTableConfig
+
+__all__ = ["H2PTable"]
+
+_LINE_BYTES = 64
+
+
+class _LineEntry:
+    __slots__ = ("line", "counters", "offsets", "lru")
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+        self.counters = [0, 0]
+        self.offsets = [-1, -1]
+        self.lru = 0
+
+
+class H2PTable:
+    def __init__(self, config: H2PTableConfig) -> None:
+        self.config = config
+        total_sets = max(1, config.entries // config.associativity)
+        self.sets_per_bank = max(1, total_sets // config.banks)
+        self._banks: List[List[List[_LineEntry]]] = [
+            [[] for _ in range(self.sets_per_bank)]
+            for _ in range(config.banks)]
+        self._counter_max = (1 << config.counter_bits) - 1
+        self._clock = 0
+        self._instructions_since_decrement = 0
+        self.allocations = 0
+        self.dropped_allocations = 0
+
+    # -- indexing -------------------------------------------------------------
+
+    def _locate(self, pc: int):
+        line = pc // _LINE_BYTES
+        bank = line & (self.config.banks - 1)
+        set_index = (line >> (self.config.banks.bit_length() - 1)) \
+            % self.sets_per_bank
+        return line, bank, set_index
+
+    def _find(self, pc: int) -> Optional[_LineEntry]:
+        line, bank, set_index = self._locate(pc)
+        for entry in self._banks[bank][set_index]:
+            if entry.line == line:
+                self._clock += 1
+                entry.lru = self._clock
+                return entry
+        return None
+
+    @staticmethod
+    def _slot(entry: _LineEntry, pc: int) -> int:
+        offset = pc % _LINE_BYTES
+        for slot in range(2):
+            if entry.offsets[slot] == offset and entry.counters[slot] > 0:
+                return slot
+        return -1
+
+    # -- queries --------------------------------------------------------------
+
+    def counter(self, pc: int) -> int:
+        entry = self._find(pc)
+        if entry is None:
+            return 0
+        slot = self._slot(entry, pc)
+        return entry.counters[slot] if slot >= 0 else 0
+
+    def is_h2p(self, pc: int) -> bool:
+        return self.counter(pc) > self.config.h2p_threshold
+
+    # -- updates --------------------------------------------------------------
+
+    def record_misprediction(self, pc: int) -> None:
+        """Allocate or bump the counter for a mispredicted branch."""
+        entry = self._find(pc)
+        offset = pc % _LINE_BYTES
+        if entry is not None:
+            slot = self._slot(entry, pc)
+            if slot >= 0:
+                if entry.counters[slot] < self._counter_max:
+                    entry.counters[slot] += 1
+                return
+            for slot in range(2):
+                if entry.counters[slot] == 0:
+                    entry.offsets[slot] = offset
+                    entry.counters[slot] = 1
+                    self.allocations += 1
+                    return
+            self.dropped_allocations += 1  # both counters busy (Section V-C)
+            return
+        line, bank, set_index = self._locate(pc)
+        bucket = self._banks[bank][set_index]
+        entry = _LineEntry(line)
+        entry.offsets[0] = offset
+        entry.counters[0] = 1
+        self._clock += 1
+        entry.lru = self._clock
+        self.allocations += 1
+        if len(bucket) < self.config.associativity:
+            bucket.append(entry)
+            return
+        # replacement: prefer fully-cold entries (all counters zero), else LRU
+        cold = [i for i, e in enumerate(bucket)
+                if all(c == 0 for c in e.counters)]
+        if cold:
+            victim = min(cold, key=lambda i: bucket[i].lru)
+        else:
+            victim = min(range(len(bucket)), key=lambda i: bucket[i].lru)
+        bucket[victim] = entry
+
+    def tick_instructions(self, retired: int) -> None:
+        """Advance the global decrement clock by ``retired`` instructions."""
+        self._instructions_since_decrement += retired
+        while self._instructions_since_decrement >= self.config.decrement_period:
+            self._instructions_since_decrement -= self.config.decrement_period
+            self._decrement_all()
+
+    def _decrement_all(self) -> None:
+        for bank in self._banks:
+            for bucket in bank:
+                for entry in bucket:
+                    for slot in range(2):
+                        if entry.counters[slot] > 0:
+                            entry.counters[slot] -= 1

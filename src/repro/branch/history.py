@@ -1,0 +1,47 @@
+"""Speculative branch history registers.
+
+The core owns one :class:`SpeculativeHistory` per fetch path (main pipeline
+and APF pipeline). History is updated speculatively at predict time and
+restored from a checkpoint on misprediction recovery; checkpoints are plain
+integers so the in-flight branch queue can hold one per branch cheaply.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+
+__all__ = ["SpeculativeHistory"]
+
+
+class SpeculativeHistory:
+    """Global (direction) history plus a short path history."""
+
+    __slots__ = ("max_length", "path_length", "ghr", "path")
+
+    def __init__(self, max_length: int = 256, path_length: int = 16) -> None:
+        self.max_length = max_length
+        self.path_length = path_length
+        self.ghr = 0
+        self.path = 0
+
+    def push(self, taken: bool, pc: int = 0) -> None:
+        """Shift in one branch outcome (and low PC bits into path history)."""
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & mask(self.max_length)
+        self.path = ((self.path << 2) | ((pc >> 2) & 3)) & mask(2 * self.path_length)
+
+    def checkpoint(self) -> tuple:
+        return (self.ghr, self.path)
+
+    def restore(self, snapshot: tuple) -> None:
+        self.ghr, self.path = snapshot
+
+    def copy_from(self, other: "SpeculativeHistory") -> None:
+        """Clone another path's history (APF pipeline initialisation)."""
+        self.ghr = other.ghr
+        self.path = other.path
+
+    def snapshot_with(self, taken: bool, pc: int = 0) -> tuple:
+        """Checkpoint as if ``taken`` had been pushed (without mutating)."""
+        ghr = ((self.ghr << 1) | (1 if taken else 0)) & mask(self.max_length)
+        path = ((self.path << 2) | ((pc >> 2) & 3)) & mask(2 * self.path_length)
+        return (ghr, path)

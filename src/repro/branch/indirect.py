@@ -1,0 +1,52 @@
+"""Indirect branch target predictor (ITTAGE-lite).
+
+APF stops on indirect branches other than returns (Section V-G), so only
+the *main* pipeline uses this predictor. Two components: a PC-indexed last
+target table and a history-hashed table with a hysteresis bit; the hashed
+table wins when it has a confident entry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.bitops import fold_xor, mask
+
+__all__ = ["IndirectPredictor"]
+
+
+class IndirectPredictor:
+    def __init__(self, log_size: int = 9, history_bits: int = 16) -> None:
+        self.log_size = log_size
+        self.history_bits = history_bits
+        size = 1 << log_size
+        self._last_target = [0] * size
+        self._hashed_target = [0] * size
+        self._hashed_conf = [0] * size
+
+    def _pc_index(self, pc: int) -> int:
+        return (pc >> 2) & mask(self.log_size)
+
+    def _hist_index(self, pc: int, ghr: int) -> int:
+        return ((pc >> 2)
+                ^ fold_xor(ghr, self.history_bits, self.log_size)) \
+            & mask(self.log_size)
+
+    def predict(self, pc: int, ghr: int) -> Optional[int]:
+        hidx = self._hist_index(pc, ghr)
+        if self._hashed_conf[hidx] > 0 and self._hashed_target[hidx]:
+            return self._hashed_target[hidx]
+        target = self._last_target[self._pc_index(pc)]
+        return target or None
+
+    def update(self, pc: int, ghr: int, target: int) -> None:
+        self._last_target[self._pc_index(pc)] = target
+        hidx = self._hist_index(pc, ghr)
+        if self._hashed_target[hidx] == target:
+            if self._hashed_conf[hidx] < 3:
+                self._hashed_conf[hidx] += 1
+        elif self._hashed_conf[hidx] > 0:
+            self._hashed_conf[hidx] -= 1
+        else:
+            self._hashed_target[hidx] = target
+            self._hashed_conf[hidx] = 1

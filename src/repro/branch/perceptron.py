@@ -1,0 +1,125 @@
+"""Hashed Perceptron conditional branch predictor.
+
+The paper names Hashed Perceptron (Jimenez's multiperspective family, used
+by several industry cores) alongside TAGE-SC-L as the state of the art its
+baseline could use. This implementation provides the classic hashed
+variant: N weight tables indexed by XOR hashes of the PC with different
+history segments; the prediction is the sign of the summed weights, and
+training occurs on mispredictions or when the magnitude is below the
+adaptive threshold (theta).
+
+It exposes the same ``predict``/``update`` interface and three-level
+confidence convention as :class:`~repro.branch.tage.TageSCL`, so it can be
+dropped into the core as an alternative baseline predictor and into
+:class:`~repro.branch.banking.BankedTage`-style experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.bitops import fold_xor, mask
+from repro.branch.tage import CONF_HIGH, CONF_LOW, CONF_MED, Prediction
+
+__all__ = ["HashedPerceptron", "PerceptronConfig"]
+
+
+@dataclass(frozen=True)
+class PerceptronConfig:
+    num_tables: int = 8
+    table_log_size: int = 10
+    weight_bits: int = 6
+    max_history: int = 128
+    theta: int = 30                # initial training threshold
+    adaptive_theta: bool = True
+
+
+class HashedPerceptron:
+    def __init__(self, config: PerceptronConfig = PerceptronConfig(),
+                 seed: int = 0) -> None:
+        del seed
+        self.config = config
+        size = 1 << config.table_log_size
+        self._tables: List[List[int]] = [
+            [0] * size for _ in range(config.num_tables)]
+        self._weight_max = (1 << (config.weight_bits - 1)) - 1
+        self._weight_min = -(1 << (config.weight_bits - 1))
+        self._theta = config.theta
+        self._theta_counter = 0
+        # geometric-ish history segment lengths per table
+        self._segments = self._segment_lengths()
+
+    def _segment_lengths(self) -> List[tuple]:
+        cfg = self.config
+        lengths = []
+        start = 0
+        span = 2
+        for _ in range(cfg.num_tables):
+            end = min(cfg.max_history, start + span)
+            lengths.append((start, max(end, start + 1)))
+            start = end // 2          # overlapping segments
+            span = int(span * 1.8) + 1
+        return lengths
+
+    def _index(self, table: int, pc: int, ghr: int, path: int) -> int:
+        bits = self.config.table_log_size
+        start, end = self._segments[table]
+        segment = (ghr >> start) & mask(end - start)
+        idx = (pc >> 2) ^ (pc >> (2 + bits)) \
+            ^ fold_xor(segment, end - start, bits) \
+            ^ fold_xor(path, 16, bits) * (table + 1)
+        return idx & mask(bits)
+
+    def _sum(self, pc: int, ghr: int, path: int) -> int:
+        total = 0
+        for table in range(self.config.num_tables):
+            total += self._tables[table][self._index(table, pc, ghr, path)]
+        return total
+
+    def storage_bits(self) -> int:
+        cfg = self.config
+        return cfg.num_tables * (1 << cfg.table_log_size) * cfg.weight_bits
+
+    def predict(self, pc: int, ghr: int, path: int = 0) -> Prediction:
+        total = self._sum(pc, ghr, path)
+        taken = total >= 0
+        magnitude = abs(total)
+        if magnitude >= self._theta:
+            confidence = CONF_HIGH
+        elif magnitude >= self._theta // 2:
+            confidence = CONF_MED
+        else:
+            confidence = CONF_LOW
+        return Prediction(taken, confidence, "perceptron")
+
+    def update(self, pc: int, ghr: int, taken: bool, path: int = 0,
+               backward: bool = False) -> None:
+        del backward
+        total = self._sum(pc, ghr, path)
+        predicted = total >= 0
+        mispredicted = predicted != taken
+        if not mispredicted and abs(total) > self._theta:
+            return
+        direction = 1 if taken else -1
+        for table in range(self.config.num_tables):
+            idx = self._index(table, pc, ghr, path)
+            weight = self._tables[table][idx] + direction
+            self._tables[table][idx] = max(self._weight_min,
+                                           min(self._weight_max, weight))
+        if self.config.adaptive_theta:
+            self._adapt_theta(mispredicted, abs(total))
+
+    def _adapt_theta(self, mispredicted: bool, magnitude: int) -> None:
+        """Seznec-style dynamic threshold fitting: grow theta on
+        mispredictions, shrink it on low-magnitude correct predictions."""
+        if mispredicted:
+            self._theta_counter += 1
+            if self._theta_counter >= 32:
+                self._theta_counter = 0
+                self._theta = min(300, self._theta + 1)
+        elif magnitude < self._theta:
+            self._theta_counter -= 1
+            if self._theta_counter <= -32:
+                self._theta_counter = 0
+                self._theta = max(4, self._theta - 1)

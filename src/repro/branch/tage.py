@@ -1,0 +1,352 @@
+"""TAGE-SC-L conditional branch predictor.
+
+A faithful (storage-parameterised) implementation of the paper's baseline
+predictor: a bimodal base table, ``num_tables`` partially-tagged tables with
+geometrically increasing history lengths, a use-alt-on-newly-allocated
+policy, a small GEHL-style statistical corrector, and a loop predictor.
+
+The predictor exposes a three-level confidence signal derived from the
+provider counter's saturation — exactly the signal APF uses to prioritise
+low-confidence branches (paper Section V-D2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.bitops import fold_xor, mask
+from repro.common.config import TageConfig
+from repro.common.rng import DeterministicRng
+
+__all__ = ["TageSCL", "Prediction", "CONF_LOW", "CONF_MED", "CONF_HIGH"]
+
+CONF_LOW = 0
+CONF_MED = 1
+CONF_HIGH = 2
+
+
+class Prediction:
+    """Result of a conditional-branch direction prediction."""
+
+    __slots__ = ("taken", "confidence", "provider")
+
+    def __init__(self, taken: bool, confidence: int, provider: str) -> None:
+        self.taken = taken
+        self.confidence = confidence
+        self.provider = provider
+
+    @property
+    def low_confidence(self) -> bool:
+        return self.confidence == CONF_LOW
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Prediction(taken={self.taken}, conf={self.confidence}, "
+                f"provider={self.provider!r})")
+
+
+def _geometric_lengths(cfg: TageConfig) -> List[int]:
+    if cfg.num_tables == 1:
+        return [cfg.min_history]
+    ratio = (cfg.max_history / cfg.min_history) ** (1.0 / (cfg.num_tables - 1))
+    lengths = []
+    for i in range(cfg.num_tables):
+        lengths.append(max(1, int(round(cfg.min_history * ratio ** i))))
+    # enforce strict monotonicity
+    for i in range(1, len(lengths)):
+        if lengths[i] <= lengths[i - 1]:
+            lengths[i] = lengths[i - 1] + 1
+    return lengths
+
+
+class _LoopEntry:
+    __slots__ = ("tag", "trip", "current", "confidence", "age")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.trip = 0
+        self.current = 0
+        self.confidence = 0
+        self.age = 0
+
+
+class TageSCL:
+    """TAGE + Statistical Corrector + Loop predictor."""
+
+    def __init__(self, config: TageConfig, seed: int = 12345) -> None:
+        self.config = config
+        self.history_lengths = _geometric_lengths(config)
+        self._rng = DeterministicRng(seed)
+        size = 1 << config.table_log_size
+        n = config.num_tables
+        self._tags = [[-1] * size for _ in range(n)]
+        self._ctrs = [[0] * size for _ in range(n)]      # signed -4..3
+        self._useful = [[0] * size for _ in range(n)]
+        self._bimodal = [0] * (1 << config.bimodal_log_size)  # signed -2..1
+        self._use_alt_on_na = 1 << (config.use_alt_on_na_bits - 1)
+        self._ctr_max = (1 << (config.counter_bits - 1)) - 1
+        self._ctr_min = -(1 << (config.counter_bits - 1))
+        self._useful_max = (1 << config.useful_bits) - 1
+        self._tick = 0
+        # statistical corrector
+        sc_size = 1 << config.sc_log_size
+        self._sc_tables = [[0] * sc_size for _ in range(config.sc_num_tables)]
+        self._sc_lengths = [0, 5, 11][:config.sc_num_tables]
+        self._sc_max = (1 << (config.sc_counter_bits - 1)) - 1
+        self._sc_min = -(1 << (config.sc_counter_bits - 1))
+        self._sc_threshold = 6
+        # loop predictor
+        self._loop = [_LoopEntry() for _ in range(1 << config.loop_log_size)]
+
+    # -- storage accounting --------------------------------------------------
+
+    def storage_bits(self) -> int:
+        cfg = self.config
+        per_entry = cfg.tag_width + cfg.counter_bits + cfg.useful_bits
+        bits = cfg.num_tables * (1 << cfg.table_log_size) * per_entry
+        bits += (1 << cfg.bimodal_log_size) * 2
+        if cfg.enable_sc:
+            bits += cfg.sc_num_tables * (1 << cfg.sc_log_size) * cfg.sc_counter_bits
+        if cfg.enable_loop_predictor:
+            bits += (1 << cfg.loop_log_size) * 40
+        return bits
+
+    # -- index / tag hashing ---------------------------------------------------
+
+    def _index(self, table: int, pc: int, ghr: int, path: int) -> int:
+        cfg = self.config
+        bits = cfg.table_log_size
+        length = self.history_lengths[table]
+        idx = (pc >> 2) ^ (pc >> (2 + bits)) ^ fold_xor(ghr, length, bits)
+        idx ^= fold_xor(path, 2 * min(length, 16), bits) ^ table
+        return idx & mask(bits)
+
+    def _tag(self, table: int, pc: int, ghr: int) -> int:
+        cfg = self.config
+        length = self.history_lengths[table]
+        tag = (pc >> 2) ^ fold_xor(ghr, length, cfg.tag_width)
+        tag ^= fold_xor(ghr, length, cfg.tag_width - 1) << 1
+        return tag & mask(cfg.tag_width)
+
+    def _bimodal_index(self, pc: int) -> int:
+        return (pc >> 2) & mask(self.config.bimodal_log_size)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _lookup(self, pc: int, ghr: int, path: int):
+        """Return (provider_table, provider_idx, alt_taken, alt_provider,
+        provider_taken, provider_ctr) with provider_table == -1 for bimodal."""
+        provider = -1
+        provider_idx = -1
+        alt_table = -1
+        alt_idx = -1
+        for table in range(self.config.num_tables - 1, -1, -1):
+            idx = self._index(table, pc, ghr, path)
+            if self._tags[table][idx] == self._tag(table, pc, ghr):
+                if provider < 0:
+                    provider, provider_idx = table, idx
+                else:
+                    alt_table, alt_idx = table, idx
+                    break
+        bim_taken = self._bimodal[self._bimodal_index(pc)] >= 0
+        if alt_table >= 0:
+            alt_taken = self._ctrs[alt_table][alt_idx] >= 0
+        else:
+            alt_taken = bim_taken
+        return provider, provider_idx, alt_table, alt_idx, alt_taken
+
+    def _tage_predict(self, pc: int, ghr: int, path: int):
+        provider, pidx, alt_table, alt_idx, alt_taken = self._lookup(
+            pc, ghr, path)
+        if provider < 0:
+            taken = self._bimodal[self._bimodal_index(pc)] >= 0
+            ctr = self._bimodal[self._bimodal_index(pc)]
+            confidence = CONF_HIGH if ctr in (-2, 1) else CONF_MED
+            return taken, confidence, "bimodal", provider, pidx, alt_taken
+        ctr = self._ctrs[provider][pidx]
+        taken = ctr >= 0
+        weak = ctr in (-1, 0)
+        newly = weak and self._useful[provider][pidx] == 0
+        if newly and self._use_alt_on_na >= (
+                1 << (self.config.use_alt_on_na_bits - 1)):
+            taken = alt_taken
+        if ctr == self._ctr_max or ctr == self._ctr_min:
+            confidence = CONF_HIGH
+        elif ctr >= 1 or ctr <= -2:
+            confidence = CONF_MED
+        else:
+            confidence = CONF_LOW
+        del alt_table, alt_idx
+        return taken, confidence, "tage", provider, pidx, alt_taken
+
+    # -- statistical corrector --------------------------------------------------
+
+    def _sc_sum(self, pc: int, ghr: int, tage_taken: bool) -> int:
+        total = 8 if tage_taken else -8
+        for table, length in enumerate(self._sc_lengths):
+            idx = ((pc >> 2) ^ fold_xor(ghr, length, self.config.sc_log_size)
+                   ^ (table * 0x9E37)) & mask(self.config.sc_log_size)
+            total += 2 * self._sc_tables[table][idx] + 1
+        return total
+
+    # -- loop predictor -----------------------------------------------------------
+
+    def _loop_entry(self, pc: int) -> _LoopEntry:
+        return self._loop[(pc >> 2) & mask(self.config.loop_log_size)]
+
+    def _loop_predict(self, pc: int) -> Optional[bool]:
+        if not self.config.enable_loop_predictor:
+            return None
+        entry = self._loop_entry(pc)
+        if (entry.tag == pc
+                and entry.confidence >= self.config.loop_confidence_max
+                and entry.trip > 0):
+            return entry.current + 1 != entry.trip
+        return None
+
+    # -- public API ------------------------------------------------------------
+
+    def predict(self, pc: int, ghr: int, path: int = 0) -> Prediction:
+        """Predict the direction of the conditional branch at ``pc``."""
+        taken, confidence, provider, *_ = self._tage_predict(pc, ghr, path)
+        if self.config.enable_sc:
+            total = self._sc_sum(pc, ghr, taken)
+            sc_taken = total >= 0
+            if sc_taken != taken and abs(total) >= self._sc_threshold:
+                taken = sc_taken
+                confidence = CONF_LOW
+                provider = "sc"
+        loop_taken = self._loop_predict(pc)
+        if loop_taken is not None and loop_taken != taken:
+            taken = loop_taken
+            confidence = CONF_HIGH
+            provider = "loop"
+        return Prediction(taken, confidence, provider)
+
+    def update(self, pc: int, ghr: int, taken: bool, path: int = 0,
+               backward: bool = False) -> None:
+        """Commit-time update with the history captured at predict time.
+
+        ``backward`` marks loop-shaped branches (target below the branch);
+        only those train the loop predictor, which keeps its small table
+        from being thrashed by ordinary forward branches.
+        """
+        cfg = self.config
+        (pred_taken, _conf, _prov, provider, pidx,
+         alt_taken) = self._tage_predict(pc, ghr, path)
+
+        if cfg.enable_sc:
+            total = self._sc_sum(pc, ghr, pred_taken)
+            sc_taken = total >= 0
+            final_taken = pred_taken
+            if sc_taken != pred_taken and abs(total) >= self._sc_threshold:
+                final_taken = sc_taken
+            if final_taken != taken or abs(total) < 3 * self._sc_threshold:
+                for table, length in enumerate(self._sc_lengths):
+                    idx = ((pc >> 2)
+                           ^ fold_xor(ghr, length, cfg.sc_log_size)
+                           ^ (table * 0x9E37)) & mask(cfg.sc_log_size)
+                    ctr = self._sc_tables[table][idx]
+                    if taken and ctr < self._sc_max:
+                        self._sc_tables[table][idx] = ctr + 1
+                    elif not taken and ctr > self._sc_min:
+                        self._sc_tables[table][idx] = ctr - 1
+
+        if cfg.enable_loop_predictor and backward:
+            self._loop_update(pc, taken)
+
+        mispredicted = pred_taken != taken
+        if provider >= 0:
+            ctr = self._ctrs[provider][pidx]
+            provider_taken = ctr >= 0
+            weak = ctr in (-1, 0)
+            newly = weak and self._useful[provider][pidx] == 0
+            # use-alt-on-newly-allocated bookkeeping
+            if newly and provider_taken != alt_taken:
+                limit = mask(cfg.use_alt_on_na_bits)
+                if alt_taken == taken and self._use_alt_on_na < limit:
+                    self._use_alt_on_na += 1
+                elif alt_taken != taken and self._use_alt_on_na > 0:
+                    self._use_alt_on_na -= 1
+            # usefulness: provider differs from alt and was correct
+            if provider_taken != alt_taken:
+                if provider_taken == taken:
+                    if self._useful[provider][pidx] < self._useful_max:
+                        self._useful[provider][pidx] += 1
+                elif self._useful[provider][pidx] > 0:
+                    self._useful[provider][pidx] -= 1
+            # counter update
+            if taken and ctr < self._ctr_max:
+                self._ctrs[provider][pidx] = ctr + 1
+            elif not taken and ctr > self._ctr_min:
+                self._ctrs[provider][pidx] = ctr - 1
+        else:
+            idx = self._bimodal_index(pc)
+            ctr = self._bimodal[idx]
+            if taken and ctr < 1:
+                self._bimodal[idx] = ctr + 1
+            elif not taken and ctr > -2:
+                self._bimodal[idx] = ctr - 1
+
+        if mispredicted and provider < cfg.num_tables - 1:
+            self._allocate(pc, ghr, path, taken, provider)
+
+    def _allocate(self, pc: int, ghr: int, path: int, taken: bool,
+                  provider: int) -> None:
+        """Allocate an entry in a table with longer history than provider."""
+        cfg = self.config
+        start = provider + 1
+        candidates = []
+        for table in range(start, cfg.num_tables):
+            idx = self._index(table, pc, ghr, path)
+            if self._useful[table][idx] == 0:
+                candidates.append((table, idx))
+        if not candidates:
+            # age the competition so future allocations can succeed
+            for table in range(start, cfg.num_tables):
+                idx = self._index(table, pc, ghr, path)
+                if self._useful[table][idx] > 0:
+                    self._useful[table][idx] -= 1
+            return
+        # prefer shorter history, with some randomisation (as in TAGE)
+        pick = 0
+        if len(candidates) > 1 and self._rng.chance(0.33):
+            pick = 1
+        table, idx = candidates[pick]
+        self._tags[table][idx] = self._tag(table, pc, ghr)
+        self._ctrs[table][idx] = 0 if taken else -1
+        self._useful[table][idx] = 0
+        # global useful reset tick
+        self._tick += 1
+        if self._tick >= (1 << 14):
+            self._tick = 0
+            for tbl in self._useful:
+                for i, u in enumerate(tbl):
+                    if u > 0:
+                        tbl[i] = u - 1
+
+    def _loop_update(self, pc: int, taken: bool) -> None:
+        entry = self._loop_entry(pc)
+        if entry.tag != pc:
+            entry.age += 1
+            if entry.age < 2:
+                return
+            entry.tag = pc
+            entry.trip = 0
+            entry.current = 0
+            entry.confidence = 0
+            entry.age = 0
+            return
+        if taken:
+            entry.current += 1
+            if entry.current > (1 << 14):  # runaway loop; give up
+                entry.confidence = 0
+                entry.current = 0
+        else:
+            observed = entry.current + 1
+            if observed == entry.trip:
+                if entry.confidence < self.config.loop_confidence_max:
+                    entry.confidence += 1
+            else:
+                entry.trip = observed
+                entry.confidence = 0
+            entry.current = 0

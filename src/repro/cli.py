@@ -1,0 +1,286 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run       simulate one workload on one configuration, print metrics
+compare   baseline vs APF (or any two configurations) on workloads
+sweep     sweep one APF parameter (depth / buffers / scheme) on a workload
+list      list workloads and predefined configurations
+describe  print the Table III-style configuration summary
+
+Examples
+--------
+    python -m repro run --workload leela --apf
+    python -m repro compare --workloads leela,tc,mcf
+    python -m repro sweep --workload deepsjeng --parameter depth
+    python -m repro describe --apf --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import geomean_speedup, speedups
+from repro.analysis.report import render_table
+from repro.common.config import (
+    AlternatePathMode,
+    CoreConfig,
+    FetchScheme,
+    describe,
+    paper_core_config,
+    small_core_config,
+)
+from repro.core.simulator import run_benchmark
+from repro.workloads.profiles import ALL_NAMES, GAP_NAMES, SPEC_NAMES
+
+__all__ = ["main", "build_parser", "config_from_args"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Alternate Path Fetch (ISCA 2024) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--warmup", type=int, default=30_000,
+                       help="warm-up instructions (default 30000)")
+        p.add_argument("--measure", type=int, default=20_000,
+                       help="measured instructions (default 20000)")
+        p.add_argument("--seed", type=int, default=1234)
+        p.add_argument("--scale", choices=("small", "paper"),
+                       default="small",
+                       help="structure sizes (paper scale is slow)")
+        p.add_argument("--predictor",
+                       choices=("tage", "perceptron", "gshare"),
+                       default="tage")
+
+    def add_apf(p):
+        p.add_argument("--apf", action="store_true",
+                       help="enable Alternate Path Fetch")
+        p.add_argument("--dpip", action="store_true",
+                       help="use the DPIP variant instead of APF")
+        p.add_argument("--depth", type=int, default=13,
+                       help="alternate pipeline depth (default 13)")
+        p.add_argument("--buffers", type=int, default=4,
+                       help="alternate path buffers (default 4)")
+        p.add_argument("--scheme",
+                       choices=("banked", "timeshare", "dualport"),
+                       default="banked")
+        p.add_argument("--tage-banks", type=int, default=4,
+                       choices=(1, 2, 4, 8))
+        p.add_argument("--no-confidence", action="store_true",
+                       help="disable the TAGE-confidence priority")
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("--workload", default="leela", choices=ALL_NAMES)
+    add_common(run_p)
+    add_apf(run_p)
+
+    cmp_p = sub.add_parser("compare", help="baseline vs APF on workloads")
+    cmp_p.add_argument("--workloads", default="leela,deepsjeng,tc",
+                       help="comma-separated list, or 'all'/'spec'/'gap'")
+    add_common(cmp_p)
+    add_apf(cmp_p)
+
+    sweep_p = sub.add_parser("sweep", help="sweep one APF parameter")
+    sweep_p.add_argument("--workload", default="deepsjeng",
+                         choices=ALL_NAMES)
+    sweep_p.add_argument("--parameter", required=True,
+                         choices=("depth", "buffers", "scheme"))
+    add_common(sweep_p)
+
+    sub.add_parser("list", help="list workloads and configurations")
+
+    char_p = sub.add_parser("characterize",
+                            help="analyse a workload's dynamic trace")
+    char_p.add_argument("--workload", default="leela", choices=ALL_NAMES)
+    char_p.add_argument("--instructions", type=int, default=30_000)
+
+    desc_p = sub.add_parser("describe", help="print the configuration")
+    desc_p.add_argument("--scale", choices=("small", "paper"),
+                        default="small")
+    desc_p.add_argument("--apf", action="store_true")
+
+    return parser
+
+
+def _base_config(args) -> CoreConfig:
+    config = (paper_core_config() if args.scale == "paper"
+              else small_core_config())
+    if args.predictor != "tage":
+        config = dataclasses.replace(config, predictor_kind=args.predictor)
+    return config
+
+
+def config_from_args(args) -> CoreConfig:
+    """Build the (possibly APF-enabled) core config for run/compare."""
+    config = _base_config(args)
+    if not (args.apf or args.dpip):
+        return config
+    scheme = {"banked": FetchScheme.BANKED,
+              "timeshare": FetchScheme.TIME_SHARED,
+              "dualport": FetchScheme.DUAL_PORT}[args.scheme]
+    overrides = dict(
+        pipeline_depth=args.depth,
+        num_buffers=args.buffers,
+        buffer_capacity_uops=8 * max(1, args.depth),
+        fetch_scheme=scheme,
+        tage_banks=args.tage_banks,
+        use_tage_confidence=not args.no_confidence,
+    )
+    if args.dpip:
+        overrides.update(mode=AlternatePathMode.DPIP, num_buffers=0)
+    return config.with_apf(**overrides)
+
+
+def _workload_list(spec: str) -> List[str]:
+    if spec == "all":
+        return list(ALL_NAMES)
+    if spec == "spec":
+        return list(SPEC_NAMES)
+    if spec == "gap":
+        return list(GAP_NAMES)
+    names = [n.strip() for n in spec.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ALL_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown workloads: {', '.join(unknown)}")
+    return names
+
+
+def _cmd_run(args) -> int:
+    config = config_from_args(args)
+    result = run_benchmark(args.workload, config=config,
+                           warmup=args.warmup, measure=args.measure,
+                           seed=args.seed)
+    rows = [
+        ("instructions", result.instructions),
+        ("cycles", result.cycles),
+        ("IPC", f"{result.ipc:.3f}"),
+        ("branch MPKI", f"{result.branch_mpki:.2f}"),
+        ("cond. mispredicts", result.cond_mispredicts),
+    ]
+    if config.apf.enabled:
+        rows += [
+            ("APF restores", result.counters.get("apf_restores", 0)),
+            ("APF jobs", result.counters.get("apf_jobs_started", 0)),
+            ("bank-conflict cycles",
+             result.counters.get("apf_bank_conflict_cycles", 0)),
+            ("mean re-fill saved", f"{result.refill_saved.mean():.1f}"),
+        ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.workload} "
+                             f"({'APF' if config.apf.enabled else 'baseline'})"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    names = _workload_list(args.workloads)
+    base_cfg = _base_config(args)
+    if not (args.apf or args.dpip):
+        args.apf = True   # comparing requires an APF side
+    apf_cfg = config_from_args(args)
+    base = {}
+    apf = {}
+    for name in names:
+        base[name] = run_benchmark(name, config=base_cfg,
+                                   warmup=args.warmup,
+                                   measure=args.measure, seed=args.seed)
+        apf[name] = run_benchmark(name, config=apf_cfg,
+                                  warmup=args.warmup,
+                                  measure=args.measure, seed=args.seed)
+    ratio = speedups(apf, base)
+    rows = [(n, f"{base[n].ipc:.3f}", f"{apf[n].ipc:.3f}",
+             f"{ratio[n]:.3f}", f"{base[n].branch_mpki:.2f}")
+            for n in names]
+    if len(names) > 1:
+        rows.append(("GEOMEAN", "", "",
+                     f"{geomean_speedup(apf, base):.3f}", ""))
+    print(render_table(
+        ["workload", "base IPC", "APF IPC", "speedup", "MPKI"], rows,
+        title="baseline vs alternate-path configuration"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    base_cfg = _base_config(args)
+    base = run_benchmark(args.workload, config=base_cfg,
+                         warmup=args.warmup, measure=args.measure,
+                         seed=args.seed)
+    points = {
+        "depth": [("3", dict(pipeline_depth=3, buffer_capacity_uops=24)),
+                  ("7", dict(pipeline_depth=7, buffer_capacity_uops=56)),
+                  ("11", dict(pipeline_depth=11, buffer_capacity_uops=88)),
+                  ("13", dict(pipeline_depth=13,
+                              buffer_capacity_uops=104))],
+        "buffers": [(str(n), dict(num_buffers=n)) for n in (0, 1, 2, 4, 8)],
+        "scheme": [("timeshare",
+                    dict(fetch_scheme=FetchScheme.TIME_SHARED)),
+                   ("banked", dict(fetch_scheme=FetchScheme.BANKED)),
+                   ("dualport", dict(fetch_scheme=FetchScheme.DUAL_PORT))],
+    }[args.parameter]
+    rows = []
+    for label, overrides in points:
+        cfg = base_cfg.with_apf(**overrides)
+        result = run_benchmark(args.workload, config=cfg,
+                               warmup=args.warmup, measure=args.measure,
+                               seed=args.seed)
+        rows.append((label, f"{result.ipc:.3f}",
+                     f"{result.ipc / base.ipc:.3f}"))
+    print(render_table([args.parameter, "IPC", "speedup"], rows,
+                       title=f"{args.workload}: APF {args.parameter} sweep "
+                             f"(baseline IPC {base.ipc:.3f})"))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    rows = [(n, "SPEC CPU2017int substitute") for n in SPEC_NAMES]
+    rows += [(n, "GAP kernel") for n in GAP_NAMES]
+    print(render_table(["workload", "kind"], rows, title="workloads"))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.analysis.characterize import characterize
+    from repro.workloads.profiles import workload_trace
+    profile = characterize(workload_trace(args.workload,
+                                          args.instructions))
+    rows = list(profile.summary_rows())
+    rows += [(f"branch mix: {kind}", f"{fraction:.4f}")
+             for kind, fraction in profile.branch_mix.items()]
+    print(render_table(["property", "value"], rows,
+                       title=f"{args.workload} characterisation"))
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    config = (paper_core_config() if args.scale == "paper"
+              else small_core_config())
+    if args.apf:
+        config = config.with_apf()
+    rows = list(describe(config).items())
+    print(render_table(["component", "value"], rows,
+                       title=f"{args.scale} configuration"))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+    "list": _cmd_list,
+    "characterize": _cmd_characterize,
+    "describe": _cmd_describe,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Shared utilities: configuration, statistics, bit manipulation, RNG."""
+
+from repro.common.bitops import bit, bits, fold_xor, mask, parity, rotate_left
+from repro.common.config import (
+    APFConfig,
+    AlternatePathMode,
+    BackendConfig,
+    BTBConfig,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    FetchScheme,
+    FrontendConfig,
+    GshareConfig,
+    H2PTableConfig,
+    MemoryConfig,
+    TageConfig,
+    TLBConfig,
+    paper_core_config,
+    small_core_config,
+)
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import Histogram, StatGroup, geomean, ratio
+
+__all__ = [
+    "APFConfig", "AlternatePathMode", "BackendConfig", "BTBConfig",
+    "CacheConfig", "CoreConfig", "DramConfig", "FetchScheme",
+    "FrontendConfig", "GshareConfig", "H2PTableConfig", "MemoryConfig",
+    "TageConfig", "TLBConfig", "paper_core_config", "small_core_config",
+    "DeterministicRng", "Histogram", "StatGroup", "geomean", "ratio",
+    "bit", "bits", "fold_xor", "mask", "parity", "rotate_left",
+]

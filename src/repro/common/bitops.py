@@ -1,0 +1,73 @@
+"""Bit-manipulation helpers used across predictor and cache indexing.
+
+All hardware structures index with XOR folds and bit extracts of PCs and
+history registers; these helpers keep that arithmetic in one audited place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bit",
+    "bits",
+    "fold_xor",
+    "mask",
+    "parity",
+    "rotate_left",
+]
+
+
+def mask(width: int) -> int:
+    """Return a mask of ``width`` ones (``width`` may be 0)."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Extract the single bit at ``index`` (0 = LSB)."""
+    return (value >> index) & 1
+
+
+def bits(value: int, low: int, high: int) -> int:
+    """Extract bits ``[low, high]`` inclusive, LSB-first."""
+    if high < low:
+        raise ValueError(f"bit range [{low}, {high}] is empty")
+    return (value >> low) & mask(high - low + 1)
+
+
+def fold_xor(value: int, input_width: int, output_width: int) -> int:
+    """XOR-fold ``input_width`` bits of ``value`` down to ``output_width`` bits.
+
+    This is the classic TAGE circular-shift-register fold: the input is cut
+    into ``output_width``-bit chunks which are XORed together.
+    """
+    if output_width <= 0:
+        raise ValueError("output width must be positive")
+    value &= mask(input_width)
+    if input_width <= output_width:
+        return value
+    folded = 0
+    while value:
+        folded ^= value & mask(output_width)
+        value >>= output_width
+    return folded
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of ``value`` (0 or 1)."""
+    value ^= value >> 32
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate ``value`` left by ``amount`` within a ``width``-bit register."""
+    if width <= 0:
+        raise ValueError("rotate width must be positive")
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)

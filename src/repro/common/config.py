@@ -1,0 +1,339 @@
+"""Configuration dataclasses for every simulated structure.
+
+The defaults model the paper's baseline (Table III): an aggressive 8-wide
+out-of-order core with a 15-stage frontend (3 Branch Prediction, 4 Fetch,
+4 Decode, 4 Rename — the first two Rename stages are the pre-RAT dependency
+check), a decoupled branch predictor with a 16-entry fetch target queue, and
+a deep backend. Capacities are expressed in entries so the same classes
+describe both the paper-scale and the fast "small" simulation scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+__all__ = [
+    "TageConfig",
+    "GshareConfig",
+    "BTBConfig",
+    "H2PTableConfig",
+    "CacheConfig",
+    "TLBConfig",
+    "DramConfig",
+    "MemoryConfig",
+    "FrontendConfig",
+    "BackendConfig",
+    "APFConfig",
+    "FetchScheme",
+    "AlternatePathMode",
+    "CoreConfig",
+    "describe",
+    "small_core_config",
+    "paper_core_config",
+]
+
+
+# --------------------------------------------------------------------------
+# Branch prediction
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TageConfig:
+    """TAGE-SC-L parameters.
+
+    ``table_log_sizes`` gives log2(entries) per tagged table; history lengths
+    follow a geometric series between ``min_history`` and ``max_history``.
+    """
+
+    num_tables: int = 8
+    table_log_size: int = 10
+    tag_width: int = 11
+    counter_bits: int = 3
+    useful_bits: int = 2
+    min_history: int = 4
+    max_history: int = 256
+    bimodal_log_size: int = 13
+    use_alt_on_na_bits: int = 4
+    enable_sc: bool = True
+    sc_log_size: int = 10
+    sc_counter_bits: int = 6
+    sc_num_tables: int = 3
+    enable_loop_predictor: bool = True
+    loop_log_size: int = 6
+    loop_confidence_max: int = 3
+
+    def scaled(self, log_delta: int) -> "TageConfig":
+        """Return a capacity-scaled copy (e.g. -2 => quarter-size mini-TAGE)."""
+        return replace(
+            self,
+            table_log_size=max(4, self.table_log_size + log_delta),
+            bimodal_log_size=max(5, self.bimodal_log_size + log_delta),
+            sc_log_size=max(4, self.sc_log_size + log_delta),
+        )
+
+
+@dataclass(frozen=True)
+class GshareConfig:
+    """gshare predictor (used by the DPIP baseline comparison)."""
+
+    log_size: int = 14
+    history_length: int = 14
+    counter_bits: int = 2
+
+
+@dataclass(frozen=True)
+class BTBConfig:
+    """Region BTB with 64-byte regions (paper Section V-B3)."""
+
+    entries: int = 4096
+    associativity: int = 4
+    region_bytes: int = 64
+
+
+@dataclass(frozen=True)
+class H2PTableConfig:
+    """Hard-to-predict branch table (paper Section V-C)."""
+
+    entries: int = 128
+    associativity: int = 8
+    banks: int = 2
+    counter_bits: int = 3
+    counters_per_entry: int = 2
+    h2p_threshold: int = 2          # counter must exceed this to be H2P
+    decrement_period: int = 20_000  # instructions between global decrements
+
+
+# --------------------------------------------------------------------------
+# Memory hierarchy
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheConfig:
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    hit_latency: int = 4
+    banks: int = 1
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.line_bytes * self.associativity)
+        if sets <= 0:
+            raise ValueError(f"cache {self.name} has no sets: {self}")
+        return sets
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    entries: int = 1536
+    page_bytes: int = 4096
+    miss_latency: int = 30
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Simple banked DRAM model standing in for Ramulator."""
+
+    num_banks: int = 16
+    row_bytes: int = 8192
+    t_row_hit: int = 30
+    t_row_miss: int = 90
+    t_row_conflict: int = 120
+    channel_latency: int = 20
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    icache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "icache", size_bytes=64 * 1024, associativity=8, hit_latency=4, banks=4))
+    dcache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "dcache", size_bytes=64 * 1024, associativity=8, hit_latency=5))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "l2", size_bytes=1024 * 1024, associativity=16, hit_latency=15))
+    llc: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "llc", size_bytes=8 * 1024 * 1024, associativity=16, hit_latency=40))
+    itlb: TLBConfig = field(default_factory=TLBConfig)
+    dtlb: TLBConfig = field(default_factory=TLBConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+
+
+# --------------------------------------------------------------------------
+# Pipeline
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Decoupled frontend. Stage counts sum to the BP->Rename depth (15)."""
+
+    width: int = 8                   # uops per cycle through every stage
+    bp_stages: int = 3
+    fetch_stages: int = 4
+    decode_stages: int = 4
+    prerename_stages: int = 2        # dependency check (pre-RAT)
+    rename_stages: int = 2           # RAT access
+    fetch_queue_entries: int = 16    # fetch target queue (prediction packets)
+    fetch_bytes_per_cycle: int = 32  # one taken prediction or 32B per cycle
+    uop_bytes: int = 4
+
+    @property
+    def depth(self) -> int:
+        """Total frontend depth, Branch Prediction through Rename."""
+        return (self.bp_stages + self.fetch_stages + self.decode_stages
+                + self.prerename_stages + self.rename_stages)
+
+    @property
+    def pre_rat_depth(self) -> int:
+        """Depth through the pre-RAT dependency check (APF pipeline end)."""
+        return (self.bp_stages + self.fetch_stages + self.decode_stages
+                + self.prerename_stages)
+
+    @property
+    def fetch_width_uops(self) -> int:
+        return self.fetch_bytes_per_cycle // self.uop_bytes
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    rob_entries: int = 512
+    scheduler_entries: int = 160
+    load_queue_entries: int = 128
+    store_queue_entries: int = 96
+    allocate_width: int = 8
+    issue_width: int = 8
+    retire_width: int = 8
+    int_alu_units: int = 6
+    mul_units: int = 2
+    div_units: int = 1
+    load_ports: int = 3
+    store_ports: int = 2
+    branch_units: int = 2
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    agen_latency: int = 1
+
+
+# --------------------------------------------------------------------------
+# Alternate path fetch
+# --------------------------------------------------------------------------
+
+class FetchScheme:
+    """How the two paths share frontend structures (paper Section VI-E)."""
+
+    BANKED = "banked"          # Parallel-Fetch via banking (the APF design)
+    TIME_SHARED = "timeshare"  # alternate cycles between the two paths
+    DUAL_PORT = "dualport"     # idealised two read ports, no conflicts
+
+
+class AlternatePathMode:
+    """Depth class of the alternate pipeline (paper Fig. 4 / Fig. 9)."""
+
+    APF = "apf"    # stops before RAT access; multiple buffered paths
+    DPIP = "dpip"  # renames + allocates shadow backend; single path at a time
+
+
+@dataclass(frozen=True)
+class APFConfig:
+    enabled: bool = True
+    mode: str = AlternatePathMode.APF
+    pipeline_depth: int = 13          # 3 BP + 4 Fetch + 4 Decode + 2 pre-RAT
+    num_buffers: int = 4
+    buffer_capacity_uops: int = 104   # 8 uops/cycle x 13 cycles
+    shadow_branch_queue_entries: int = 20
+    shadow_ras_entries: int = 4
+    use_tage_confidence: bool = True
+    use_h2p_table: bool = True
+    fetch_scheme: str = FetchScheme.BANKED
+    timeshare_main_cycles: int = 3    # main:alt ratio for time-sharing (3:1)
+    timeshare_alt_cycles: int = 1
+    tage_banks: int = 4
+    h2p: H2PTableConfig = field(default_factory=H2PTableConfig)
+    #: extension (paper Section III-A, left as future work there): when the
+    #: alternate path stops on an I-cache miss, issue the missing line as a
+    #: prefetch instead of dropping it — Wrong-Path Instruction Prefetching
+    #: layered on APF
+    prefetch_alternate_icache: bool = False
+
+
+# --------------------------------------------------------------------------
+# Whole core
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CoreConfig:
+    frontend: FrontendConfig = field(default_factory=FrontendConfig)
+    backend: BackendConfig = field(default_factory=BackendConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    tage: TageConfig = field(default_factory=TageConfig)
+    gshare: GshareConfig = field(default_factory=GshareConfig)
+    btb: BTBConfig = field(default_factory=BTBConfig)
+    apf: APFConfig = field(default_factory=lambda: APFConfig(enabled=False))
+    #: direction predictor: "tage" (baseline), "gshare" (DPIP's original),
+    #: or "perceptron" (Hashed Perceptron, the other predictor the paper
+    #: names as state of the art)
+    predictor_kind: str = "tage"
+    ras_entries: int = 32
+    baseline_tage_banks: int = 1      # Fig. 7: bank TAGE without APF
+
+    def with_apf(self, **kwargs) -> "CoreConfig":
+        """Return a copy with APF enabled and the given APF overrides."""
+        return replace(self, apf=replace(self.apf, enabled=True, **kwargs))
+
+    def with_frontend(self, **kwargs) -> "CoreConfig":
+        return replace(self, frontend=replace(self.frontend, **kwargs))
+
+    def with_backend(self, **kwargs) -> "CoreConfig":
+        return replace(self, backend=replace(self.backend, **kwargs))
+
+
+def small_core_config() -> CoreConfig:
+    """Fast-simulation scale: smaller predictor/caches, same pipeline shape.
+
+    Benchmarks use this scale so pure-Python runs finish in minutes; the
+    pipeline geometry (widths, depths, queue sizes) matches the paper so the
+    timing behaviour that APF exploits is unchanged.
+    """
+    return CoreConfig(
+        tage=TageConfig(num_tables=6, table_log_size=11, bimodal_log_size=13,
+                        max_history=128, sc_log_size=9, loop_log_size=7,
+                        enable_loop_predictor=True),
+        btb=BTBConfig(entries=1024, associativity=4),
+        memory=MemoryConfig(
+            icache=CacheConfig("icache", 32 * 1024, associativity=8,
+                               hit_latency=4, banks=4),
+            dcache=CacheConfig("dcache", 16 * 1024, associativity=8,
+                               hit_latency=5),
+            l2=CacheConfig("l2", 128 * 1024, associativity=8, hit_latency=15),
+            llc=CacheConfig("llc", 1024 * 1024, associativity=16,
+                            hit_latency=40),
+        ),
+        backend=BackendConfig(rob_entries=256, scheduler_entries=96,
+                              load_queue_entries=64, store_queue_entries=48),
+    )
+
+
+def paper_core_config() -> CoreConfig:
+    """Table III scale (slow in pure Python; used for spot checks)."""
+    return CoreConfig()
+
+
+def describe(config: CoreConfig) -> Dict[str, Tuple]:
+    """Render a Table III-style configuration summary."""
+    fe, be, mem = config.frontend, config.backend, config.memory
+    return {
+        "Frontend": (f"{fe.width}-wide, {fe.depth} stages BP->Rename, "
+                     f"FTQ {fe.fetch_queue_entries}"),
+        "Branch Predictor": (f"TAGE-SC-L {config.tage.num_tables} tables, "
+                             f"2^{config.tage.table_log_size}/table"),
+        "BTB": f"{config.btb.entries} entries, region {config.btb.region_bytes}B",
+        "Backend": (f"ROB {be.rob_entries}, RS {be.scheduler_entries}, "
+                    f"LQ {be.load_queue_entries}, SQ {be.store_queue_entries}"),
+        "Caches": (f"I {mem.icache.size_bytes // 1024}KB ({mem.icache.banks} banks), "
+                   f"D {mem.dcache.size_bytes // 1024}KB, "
+                   f"L2 {mem.l2.size_bytes // 1024}KB, "
+                   f"LLC {mem.llc.size_bytes // 1024}KB"),
+        "APF": (f"enabled={config.apf.enabled}, depth={config.apf.pipeline_depth}, "
+                f"buffers={config.apf.num_buffers}, scheme={config.apf.fetch_scheme}"),
+    }

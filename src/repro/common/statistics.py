@@ -1,0 +1,123 @@
+"""Lightweight statistics collection for the simulator.
+
+Every pipeline component owns a :class:`StatGroup`; counters are plain int
+attributes in a dict so the hot path stays cheap, and histograms are sparse
+dicts. Groups can be merged, reset, and rendered as report rows.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["StatGroup", "Histogram", "geomean", "ratio"]
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe division: returns 0.0 when the denominator is zero."""
+    return numerator / denominator if denominator else 0.0
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (returns 0.0 for empty input)."""
+    acc = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+        acc += math.log(value)
+        count += 1
+    return math.exp(acc / count) if count else 0.0
+
+
+class Histogram:
+    """Sparse integer histogram (bucket -> count)."""
+
+    __slots__ = ("buckets",)
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = defaultdict(int)
+
+    def add(self, bucket: int, count: int = 1) -> None:
+        self.buckets[bucket] += count
+
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def fraction(self, bucket: int) -> float:
+        return ratio(self.buckets.get(bucket, 0), self.total())
+
+    def fraction_at_least(self, bucket: int) -> float:
+        hits = sum(c for b, c in self.buckets.items() if b >= bucket)
+        return ratio(hits, self.total())
+
+    def mean(self) -> float:
+        total = self.total()
+        if not total:
+            return 0.0
+        return sum(b * c for b, c in self.buckets.items()) / total
+
+    def merge(self, other: "Histogram") -> None:
+        for bucket, count in other.buckets.items():
+            self.buckets[bucket] += count
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(sorted(self.buckets.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.as_dict()})"
+
+
+class StatGroup:
+    """A named bag of counters and histograms."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.histograms: Dict[str, Histogram] = {}
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self.counters[key] += amount
+
+    def get(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+    def set(self, key: str, value: int) -> None:
+        self.counters[key] = value
+
+    def histogram(self, key: str) -> Histogram:
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = Histogram()
+            self.histograms[key] = hist
+        return hist
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+    def merge(self, other: "StatGroup") -> None:
+        for key, value in other.counters.items():
+            self.counters[key] += value
+        for key, hist in other.histograms.items():
+            self.histogram(key).merge(hist)
+
+    def rate(self, numerator: str, denominator: str) -> float:
+        return ratio(self.get(numerator), self.get(denominator))
+
+    def per_kilo(self, numerator: str, denominator: str) -> float:
+        return 1000.0 * self.rate(numerator, denominator)
+
+    def report(self) -> Mapping[str, float]:
+        rows: Dict[str, float] = dict(self.counters)
+        for key, hist in self.histograms.items():
+            rows[f"{key}.mean"] = hist.mean()
+            rows[f"{key}.total"] = hist.total()
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatGroup({self.name!r}, {dict(self.counters)})"

@@ -1,0 +1,19 @@
+"""The core package: OoO pipeline, APF engine, and the simulation facade."""
+
+from repro.core.apf import AlternatePathBuffer, APFEngine, APFJob
+from repro.core.fetch_engine import (
+    BranchUnit,
+    Bundle,
+    MainFetchEngine,
+    synthetic_address,
+)
+from repro.core.ooo_core import OoOCore
+from repro.core.simulator import SimResult, Simulator, run_benchmark
+from repro.core.uops import BufferedUop, DynUop, InflightBranch
+
+__all__ = [
+    "APFEngine", "APFJob", "AlternatePathBuffer", "BranchUnit",
+    "BufferedUop", "Bundle", "DynUop", "InflightBranch", "MainFetchEngine",
+    "OoOCore", "SimResult", "Simulator", "run_benchmark",
+    "synthetic_address",
+]

@@ -1,0 +1,376 @@
+"""Alternate Path Fetch engine (paper Sections III and V).
+
+The engine owns the APF pipeline (one active job), the Alternate Path
+Buffers, and H2P-branch scheduling. Each cycle it advances the active job:
+fetching up to 8 uops along the *inverted* direction of the initiating H2P
+branch using a shadow PC / shadow history / shadow RAS, predicting
+alternate-path branches with the banked predictor subject to bank-conflict
+arbitration (predicted path wins). After ``pipeline_depth`` cycles the job's
+contents move to a free Alternate Path Buffer, and the pipeline picks the
+next H2P branch — oldest-first with priority to TAGE-low-confidence
+branches (Section V-D).
+
+DPIP (Section IV) reuses this machinery with its restrictions: a deeper
+alternate pipeline (15/17 stages, modelling Rename/Allocate of the
+alternate path), no buffers (one outstanding path that must wait for its
+branch to resolve), and a single pending-candidate context.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch.banking import icache_bank_bits
+from repro.branch.history import SpeculativeHistory
+from repro.branch.ras import ShadowRAS
+from repro.common.config import AlternatePathMode, APFConfig
+from repro.common.statistics import StatGroup
+from repro.isa.opcodes import BranchKind, Op
+from repro.workloads.program import Program
+
+from repro.core.fetch_engine import BranchUnit
+from repro.core.uops import BufferedUop, InflightBranch
+
+__all__ = ["APFEngine", "APFJob", "AlternatePathBuffer"]
+
+
+class APFJob:
+    """One alternate path being fetched by the APF pipeline."""
+
+    __slots__ = ("branch", "pc", "history", "shadow_ras", "uops",
+                 "fetch_cycles", "total_cycles", "terminated", "complete",
+                 "shadow_branches", "dead")
+
+    def __init__(self, branch: InflightBranch, start_pc: int,
+                 history: SpeculativeHistory, shadow_ras: ShadowRAS) -> None:
+        self.branch = branch
+        self.pc = start_pc
+        self.history = history
+        self.shadow_ras = shadow_ras
+        self.uops: List[BufferedUop] = []
+        self.fetch_cycles = 0     # cycles that actually fetched uops
+        self.total_cycles = 0     # cycles occupied (including stalls)
+        self.terminated = False   # stopped early (icache miss / indirect)
+        self.complete = False
+        self.shadow_branches = 0  # entries used in the shadow branch queue
+        self.dead = False         # ran off the image
+
+
+class AlternatePathBuffer:
+    """Saved state of one fully (or partially) fetched alternate path."""
+
+    __slots__ = ("branch", "uops", "end_pc", "end_ghr", "end_path",
+                 "shadow_ras_state", "main_ras_snapshot", "fetch_cycles",
+                 "dead_end")
+
+    def __init__(self, job: APFJob) -> None:
+        self.branch = job.branch
+        self.uops = job.uops
+        self.end_pc = job.pc
+        self.end_ghr = job.history.ghr
+        self.end_path = job.history.path
+        self.shadow_ras_state = job.shadow_ras.state()
+        self.main_ras_snapshot = job.shadow_ras.main_snapshot
+        self.fetch_cycles = job.fetch_cycles
+        self.dead_end = job.dead
+
+
+class APFEngine:
+    def __init__(self, config: APFConfig, branch_unit: BranchUnit,
+                 program: Program, hierarchy, frontend_config,
+                 stats: StatGroup) -> None:
+        self.config = config
+        self.bu = branch_unit
+        self.program = program
+        self.hierarchy = hierarchy
+        self.fe = frontend_config
+        self.stats = stats
+        self.active_job: Optional[APFJob] = None
+        self.held_job: Optional[APFJob] = None   # complete, no buffer free
+        self.buffers: List[Optional[AlternatePathBuffer]] = \
+            [None] * config.num_buffers
+        self.dpip_pending: Optional[InflightBranch] = None
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def is_dpip(self) -> bool:
+        return self.config.mode == AlternatePathMode.DPIP
+
+    def pipeline_busy(self) -> bool:
+        return self.active_job is not None or self.held_job is not None
+
+    def free_buffer_index(self) -> int:
+        for index, slot in enumerate(self.buffers):
+            if slot is None:
+                return index
+        return -1
+
+    def note_new_branch(self, rec: InflightBranch) -> None:
+        """DPIP can pend at most one candidate while its pipeline is busy."""
+        if not self.is_dpip:
+            return
+        if not (rec.low_conf or rec.h2p_marked):
+            return
+        if self.pipeline_busy():
+            if self.dpip_pending is None or self.dpip_pending.resolved \
+                    or self.dpip_pending.squashed:
+                self.dpip_pending = rec
+            else:
+                rec.dpip_eligible = False
+
+    def release_branch(self, rec: InflightBranch) -> None:
+        """Free APF state owned by a resolved-correct or squashed branch."""
+        if rec.apf_buffer is not None:
+            for index, slot in enumerate(self.buffers):
+                if slot is rec.apf_buffer:
+                    self.buffers[index] = None
+            rec.apf_buffer = None
+        if self.active_job is not None and self.active_job.branch is rec:
+            self.active_job = None
+        if self.held_job is not None and self.held_job.branch is rec:
+            self.held_job = None
+        if self.dpip_pending is rec:
+            self.dpip_pending = None
+
+    def capture(self, rec: InflightBranch) -> Optional[AlternatePathBuffer]:
+        """Return the alternate-path contents for a mispredicted branch,
+        whether still in the pipeline or already buffered, and release the
+        resources."""
+        if rec.apf_buffer is not None:
+            buffer = rec.apf_buffer
+            self.release_branch(rec)
+            return buffer
+        job = None
+        if self.active_job is not None and self.active_job.branch is rec:
+            job = self.active_job
+        elif self.held_job is not None and self.held_job.branch is rec:
+            job = self.held_job
+        if job is None:
+            return None
+        buffer = AlternatePathBuffer(job)
+        self.release_branch(rec)
+        return buffer
+
+    # -- scheduling (Section V-D) ---------------------------------------------
+
+    def select_candidate(self, inflight: List[InflightBranch]) \
+            -> Optional[InflightBranch]:
+        """Oldest unresolved H2P branch; TAGE-low-confidence first."""
+        oldest_low: Optional[InflightBranch] = None
+        oldest_h2p: Optional[InflightBranch] = None
+        for rec in inflight:
+            if (rec.resolved or rec.squashed or not rec.is_conditional
+                    or rec.has_alternate_path() or not rec.dpip_eligible):
+                continue
+            if self.config.use_tage_confidence and rec.low_conf \
+                    and oldest_low is None:
+                oldest_low = rec
+                break  # inflight is oldest-first; low-conf always wins
+            if self.config.use_h2p_table and rec.h2p_marked \
+                    and oldest_h2p is None:
+                oldest_h2p = rec
+                if not self.config.use_tage_confidence:
+                    break
+        return oldest_low if oldest_low is not None else oldest_h2p
+
+    def start_job(self, rec: InflightBranch,
+                  main_history: SpeculativeHistory, main_ras) -> None:
+        """Initialise the APF pipeline for ``rec``'s alternate path."""
+        su = rec.uop
+        alt_taken = not rec.predicted_taken
+        start_pc = su.target if alt_taken else su.fallthrough
+        history = SpeculativeHistory(main_history.max_length,
+                                     main_history.path_length)
+        # the shadow history is the history *at the branch* plus the
+        # inverted prediction (Section V-E)
+        history.restore(rec.hist_checkpoint)
+        history.push(alt_taken, su.pc)
+        shadow_ras = ShadowRAS(main_ras, self.config.shadow_ras_entries)
+        shadow_ras.main_snapshot = rec.ras_checkpoint
+        job = APFJob(rec, start_pc, history, shadow_ras)
+        job.dead = self.program.uop_at(start_pc) is None
+        rec.apf_job = job
+        self.active_job = job
+        if self.dpip_pending is rec:
+            self.dpip_pending = None
+        self.stats.incr("apf_jobs_started")
+
+    # -- per-cycle operation ----------------------------------------------------
+
+    def cycle(self, now: int, inflight: List[InflightBranch],
+              main_history: SpeculativeHistory, main_ras,
+              can_fetch: bool, blocked_tage_banks: set,
+              blocked_icache_banks: set) -> None:
+        """Advance the APF pipeline by one cycle.
+
+        ``can_fetch`` is False when the fetch scheme gives this cycle to the
+        main path only (time-sharing) — the pipeline still ages.
+        """
+        self._try_drain_held()
+        if self.active_job is None and not self.pipeline_busy():
+            candidate = self.select_candidate(inflight)
+            if candidate is not None:
+                self.start_job(candidate, main_history, main_ras)
+        job = self.active_job
+        if job is None:
+            return
+        self.stats.incr("apf_active_cycles")
+        job.total_cycles += 1
+        if can_fetch and not job.terminated and not job.dead \
+                and job.total_cycles <= self.config.pipeline_depth:
+            self._fetch_cycle(job, now, blocked_tage_banks,
+                              blocked_icache_banks)
+        if (job.total_cycles >= self.config.pipeline_depth
+                or len(job.uops) >= self.config.buffer_capacity_uops
+                or job.terminated or job.dead):
+            self._complete_job(job)
+
+    def _try_drain_held(self) -> None:
+        if self.held_job is None or self.is_dpip:
+            return
+        index = self.free_buffer_index()
+        if index < 0:
+            return
+        job = self.held_job
+        self.held_job = None
+        buffer = AlternatePathBuffer(job)
+        self.buffers[index] = buffer
+        job.branch.apf_job = None
+        job.branch.apf_buffer = buffer
+
+    def _complete_job(self, job: APFJob) -> None:
+        job.complete = True
+        self.active_job = None
+        self.stats.incr("apf_jobs_completed")
+        if self.is_dpip:
+            # DPIP holds its single path until the branch resolves
+            self.held_job = job
+            return
+        index = self.free_buffer_index()
+        if index >= 0:
+            buffer = AlternatePathBuffer(job)
+            self.buffers[index] = buffer
+            job.branch.apf_job = None
+            job.branch.apf_buffer = buffer
+        else:
+            self.held_job = job   # pipeline stays occupied (Section III)
+
+    # -- alternate-path fetch -----------------------------------------------------
+
+    def _fetch_cycle(self, job: APFJob, now: int,
+                     blocked_tage_banks: set,
+                     blocked_icache_banks: set) -> None:
+        fetched = 0
+        self._bank_checked = False   # one predictor access per cycle
+        current_half_line = -1       # 32B chunks are separate bank accesses
+        for _slot in range(self.fe.width):
+            su = self.program.uop_at(job.pc)
+            if su is None or su.op is Op.HALT:
+                job.dead = True
+                break
+            half_line = job.pc >> 5
+            if half_line != current_half_line:
+                bank = icache_bank_bits(job.pc)
+                if bank in blocked_icache_banks:
+                    if not fetched:
+                        self.stats.incr("apf_bank_conflict_cycles")
+                    break   # this chunk retries next cycle
+                # APF terminates on an I-cache miss; by default the miss is
+                # not sent to memory (Section III-A). The optional extension
+                # issues it as a prefetch (wrong-path instruction
+                # prefetching layered on APF).
+                if not self.hierarchy.icache.probe(job.pc):
+                    job.terminated = True
+                    self.stats.incr("apf_icache_terminations")
+                    if self.config.prefetch_alternate_icache:
+                        self.hierarchy.ifetch(job.pc, now)
+                        self.stats.incr("apf_icache_prefetches")
+                    break
+                current_half_line = half_line
+            if su.is_branch:
+                advanced = self._shadow_branch(job, su, blocked_tage_banks,
+                                               stalled=not fetched)
+                if not advanced:
+                    break          # bank conflict: branch retries next cycle
+                if job.terminated:
+                    break          # indirect / RAS underflow stops the path
+                fetched += 1
+                if self._shadow_taken:
+                    break
+            else:
+                job.uops.append(BufferedUop(su))
+                job.pc = su.fallthrough
+                fetched += 1
+            if len(job.uops) >= self.config.buffer_capacity_uops:
+                break
+        if fetched:
+            job.fetch_cycles += 1
+            self.stats.incr("apf_fetched_uops", fetched)
+
+    def _shadow_branch(self, job: APFJob, su,
+                       blocked_tage_banks: set, stalled: bool = True) -> bool:
+        """Process one branch on the alternate path. Returns False when a
+        predictor bank conflict stalls the APF pipeline this cycle."""
+        self._shadow_taken = False
+        kind = su.kind
+        if kind is BranchKind.CONDITIONAL:
+            if not self._bank_checked:
+                # the alternate path's single predictor access this cycle
+                if self.bu.bank_of(su.pc) in blocked_tage_banks:
+                    if stalled:
+                        self.stats.incr("apf_bank_conflict_cycles")
+                    return False
+                self._bank_checked = True
+            pred = self.bu.predictor.predict(
+                su.pc, job.history.ghr, job.history.path)
+            h2p = False
+            low = False
+            if job.shadow_branches < self.config.shadow_branch_queue_entries:
+                h2p = self.bu.h2p_table.is_h2p(su.pc)
+                low = pred.low_confidence
+                job.shadow_branches += 1
+            bu = BufferedUop(
+                su, predicted_taken=pred.taken,
+                predicted_target=su.target if pred.taken else su.fallthrough,
+                hist_checkpoint=job.history.checkpoint(),
+                ghr_at_predict=job.history.ghr,
+                path_at_predict=job.history.path,
+                ras_state=job.shadow_ras.state(),
+                h2p_marked=h2p, low_conf=low)
+            job.uops.append(bu)
+            job.history.push(pred.taken, su.pc)
+            job.pc = bu.predicted_target
+            self._shadow_taken = pred.taken
+            return True
+        if kind in (BranchKind.DIRECT_JUMP, BranchKind.CALL):
+            if kind is BranchKind.CALL:
+                job.shadow_ras.push(su.fallthrough)
+            job.uops.append(BufferedUop(
+                su, predicted_taken=True, predicted_target=su.target,
+                hist_checkpoint=job.history.checkpoint(),
+                ghr_at_predict=job.history.ghr,
+                path_at_predict=job.history.path,
+                ras_state=job.shadow_ras.state()))
+            job.pc = su.target
+            self._shadow_taken = True
+            return True
+        if kind is BranchKind.RETURN:
+            target = job.shadow_ras.pop()
+            if target is None:
+                job.terminated = True
+                self.stats.incr("apf_ras_terminations")
+                return True
+            job.uops.append(BufferedUop(
+                su, predicted_taken=True, predicted_target=target,
+                hist_checkpoint=job.history.checkpoint(),
+                ghr_at_predict=job.history.ghr,
+                path_at_predict=job.history.path,
+                ras_state=job.shadow_ras.state()))
+            job.pc = target
+            self._shadow_taken = True
+            return True
+        # indirect: APF stops (the indirect predictor is not banked)
+        job.terminated = True
+        self.stats.incr("apf_indirect_terminations")
+        return True

@@ -1,0 +1,316 @@
+"""Decoupled frontend: branch unit + main-path fetch engine.
+
+The fetch engine walks the *dynamic trace* while predictions agree with
+architectural outcomes, and walks the *static image* once a misprediction
+puts fetch on the wrong path — exactly the behaviour of an execution-driven
+simulator with wrong-path execution (Scarab), realised over a precomputed
+trace. Every control-flow uop gets an :class:`InflightBranch` record with
+the checkpoints needed for exact recovery.
+
+Produced bundles carry a ``ready_cycle``: the cycle their uops reach the
+rename stage, i.e. fetch cycle + frontend depth (+ I-cache miss stalls).
+The misprediction re-fill penalty the paper attacks emerges from this
+latency pipe rather than being charged as a magic constant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch.banking import fetch_banks_touched
+from repro.branch.history import SpeculativeHistory
+from repro.branch.ras import ReturnAddressStack
+from repro.common.config import CoreConfig
+from repro.common.statistics import StatGroup
+from repro.isa.opcodes import BranchKind, Op
+from repro.workloads.program import Program
+from repro.workloads.trace import DynamicTrace
+
+from repro.core.uops import DynUop, InflightBranch
+
+__all__ = ["Bundle", "BranchUnit", "MainFetchEngine", "synthetic_address"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def synthetic_address(program: Program, pc: int, seq: int) -> int:
+    """Deterministic wrong-path load/store address inside the data segment."""
+    span = max(8, program.data_end - program.data_base)
+    z = ((pc * 0x9E3779B97F4A7C15) ^ (seq * 0xBF58476D1CE4E5B9)) & _MASK64
+    return program.data_base + ((z % span) & ~7)
+
+
+class Bundle:
+    """One fetch packet: up to ``width`` uops fetched in a single cycle."""
+
+    __slots__ = ("uops", "fetch_cycle", "ready_cycle", "start_pc")
+
+    def __init__(self, uops: List[DynUop], fetch_cycle: int,
+                 ready_cycle: int, start_pc: int) -> None:
+        self.uops = uops
+        self.fetch_cycle = fetch_cycle
+        self.ready_cycle = ready_cycle
+        self.start_pc = start_pc
+
+    @property
+    def first_seq(self) -> int:
+        return self.uops[0].seq
+
+    @property
+    def last_seq(self) -> int:
+        return self.uops[-1].seq
+
+
+class BranchUnit:
+    """Shared prediction structures: direction predictor, BTB, indirect,
+    H2P table. The direction predictor may be banked (BankedTage)."""
+
+    def __init__(self, predictor, btb, indirect, h2p_table) -> None:
+        self.predictor = predictor
+        self.btb = btb
+        self.indirect = indirect
+        self.h2p_table = h2p_table
+
+    def bank_of(self, pc: int) -> int:
+        bank_fn = getattr(self.predictor, "bank_of", None)
+        return bank_fn(pc) if bank_fn else 0
+
+    @property
+    def num_banks(self) -> int:
+        return getattr(self.predictor, "num_banks", 1)
+
+
+class MainFetchEngine:
+    """Predicted-path fetch state machine."""
+
+    def __init__(self, program: Program, trace: DynamicTrace,
+                 branch_unit: BranchUnit, hierarchy, config: CoreConfig,
+                 stats: StatGroup) -> None:
+        self.program = program
+        self.trace = trace
+        self.bu = branch_unit
+        self.hierarchy = hierarchy
+        self.config = config
+        self.fe = config.frontend
+        self.stats = stats
+        self.history = SpeculativeHistory(config.tage.max_history)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.cursor = 0                # next trace index (on-trace mode)
+        self.wrong_path = False
+        self.pc = trace.uops[0].pc if len(trace) else program.entry_pc
+        self.dead = False              # off-image wrong path / end of trace
+        self.stall_until = 0
+        self.seq = 0
+        self.misfetch_penalty = (self.fe.bp_stages + self.fe.fetch_stages
+                                 + self.fe.decode_stages)
+        # per-cycle bank usage published for APF conflict checks
+        self.cycle_tage_banks: set = set()
+        self.cycle_icache_banks: set = set()
+        # branch records created this cycle (core collects them)
+        self.new_branches: List[InflightBranch] = []
+
+    # -- redirect ----------------------------------------------------------
+
+    def redirect_on_trace(self, cursor: int, now: int) -> None:
+        self.cursor = cursor
+        self.wrong_path = False
+        self.dead = cursor >= len(self.trace)
+        self.stall_until = now + 1
+
+    def redirect_wrong_path(self, pc: int, now: int) -> None:
+        self.pc = pc
+        self.wrong_path = True
+        self.dead = self.program.uop_at(pc) is None
+        self.stall_until = now + 1
+
+    # -- fetch -------------------------------------------------------------
+
+    def current_fetch_pc(self) -> Optional[int]:
+        if self.dead:
+            return None
+        if self.wrong_path:
+            return self.pc
+        if self.cursor >= len(self.trace):
+            return None
+        return self.trace.uops[self.cursor].pc
+
+    def can_fetch(self, now: int) -> bool:
+        return not self.dead and now >= self.stall_until \
+            and self.current_fetch_pc() is not None
+
+    def step(self, now: int) -> Optional[Bundle]:
+        """Fetch one bundle; publishes bank usage for this cycle."""
+        self.cycle_tage_banks = set()
+        self.cycle_icache_banks = set()
+        self.new_branches = []
+        if not self.can_fetch(now):
+            return None
+        start_pc = self.current_fetch_pc()
+        uops: List[DynUop] = []
+        for _slot in range(self.fe.width):
+            du = self._fetch_one(now)
+            if du is None:
+                break
+            uops.append(du)
+            if du.static.is_branch and self._bundle_ended:
+                break
+        if not uops:
+            return None
+        self.stats.incr("fetch_cycles")
+        self.stats.incr("fetched_uops", len(uops))
+        ready = now + self.fe.depth
+        self.cycle_icache_banks.update(
+            fetch_banks_touched(start_pc, len(uops) * self.fe.uop_bytes))
+        latency = self.hierarchy.ifetch(start_pc, now)
+        extra = latency - self.hierarchy.icache.config.hit_latency
+        if extra > 0:
+            self.stats.incr("icache_miss_stall_cycles", extra)
+            ready += extra
+            self.stall_until = max(self.stall_until, now + 1 + extra)
+        return Bundle(uops, now, ready, start_pc)
+
+    def _fetch_one(self, now: int) -> Optional[DynUop]:
+        self._bundle_ended = False
+        if self.wrong_path:
+            su = self.program.uop_at(self.pc)
+            if su is None or su.op is Op.HALT:
+                self.dead = True
+                return None
+            trace_index = -1
+            mem_addr = (synthetic_address(self.program, su.pc, self.seq)
+                        if su.is_mem else 0)
+        else:
+            if self.cursor >= len(self.trace):
+                self.dead = True
+                return None
+            su = self.trace.uops[self.cursor]
+            trace_index = self.cursor
+            mem_addr = self.trace.mem_addr[self.cursor]
+        du = DynUop(self.seq, su, trace_index, self.wrong_path, mem_addr)
+        self.seq += 1
+        if su.is_branch:
+            self._handle_branch(du, now)
+        else:
+            self._advance_sequential(su)
+        return du
+
+    def _advance_sequential(self, su) -> None:
+        if self.wrong_path:
+            self.pc = su.fallthrough
+        else:
+            self.cursor += 1
+
+    # -- branch handling -----------------------------------------------------
+
+    def _make_record(self, du: DynUop, now: int) -> InflightBranch:
+        su = du.static
+        rec = InflightBranch(du.seq, su, su.kind, not self.wrong_path, now)
+        rec.hist_checkpoint = self.history.checkpoint()
+        rec.ras_checkpoint = self.ras.checkpoint()
+        rec.ghr_at_predict = self.history.ghr
+        rec.path_at_predict = self.history.path
+        if not self.wrong_path:
+            rec.recovery_cursor = self.cursor + 1
+            rec.actual_taken = self.trace.taken[self.cursor]
+            rec.actual_next_pc = self.trace.next_pc[self.cursor]
+        du.branch = rec
+        self.new_branches.append(rec)
+        return rec
+
+    def _check_btb(self, su, now: int) -> None:
+        """Model the misfetch stall for taken branches absent from the BTB."""
+        hit = self.bu.btb.lookup(su.pc)
+        if hit is None:
+            self.stats.incr("btb_misfetches")
+            self.stall_until = max(self.stall_until,
+                                   now + 1 + self.misfetch_penalty)
+            target = su.target if su.target >= 0 else su.fallthrough
+            self.bu.btb.insert(su.pc, su.kind, target)
+
+    def _handle_branch(self, du: DynUop, now: int) -> None:
+        su = du.static
+        kind = su.kind
+        rec = self._make_record(du, now)
+
+        if kind is BranchKind.CONDITIONAL:
+            pred = self.bu.predictor.predict(
+                su.pc, self.history.ghr, self.history.path)
+            # one predictor access per path per cycle: the bank occupied by
+            # this cycle's prediction is that of the first branch looked up
+            if not self.cycle_tage_banks:
+                self.cycle_tage_banks.add(self.bu.bank_of(su.pc))
+            rec.predicted_taken = pred.taken
+            rec.low_conf = pred.low_confidence
+            rec.h2p_marked = self.bu.h2p_table.is_h2p(su.pc)
+            rec.predicted_target = su.target if pred.taken else su.fallthrough
+            self.history.push(pred.taken, su.pc)
+            if pred.taken:
+                self._check_btb(su, now)
+                self._bundle_ended = True
+            if self.wrong_path:
+                self.pc = rec.predicted_target
+            elif pred.taken != rec.actual_taken:
+                rec.mispredict = True
+                self.stats.incr("fetch_direction_mispredicts")
+                self.wrong_path = True
+                self.pc = rec.predicted_target
+            else:
+                self.cursor += 1
+            return
+
+        if kind in (BranchKind.DIRECT_JUMP, BranchKind.CALL):
+            rec.predicted_taken = True
+            rec.predicted_target = su.target
+            if kind is BranchKind.CALL:
+                self.ras.push(su.fallthrough)
+            self._check_btb(su, now)
+            self._bundle_ended = True
+            if self.wrong_path:
+                self.pc = su.target
+            else:
+                self.cursor += 1
+            return
+
+        if kind is BranchKind.RETURN:
+            target = self.ras.pop()
+            rec.predicted_taken = True
+            rec.predicted_target = target if target is not None else -1
+            self._bundle_ended = True
+            if self.wrong_path:
+                if target is None:
+                    self.dead = True
+                else:
+                    self.pc = target
+            elif target != rec.actual_next_pc:
+                rec.mispredict = True
+                self.stats.incr("fetch_target_mispredicts")
+                if target is None:
+                    self.dead = True
+                else:
+                    self.wrong_path = True
+                    self.pc = target
+            else:
+                self.cursor += 1
+            return
+
+        # indirect jump
+        target = self.bu.indirect.predict(su.pc, self.history.ghr)
+        rec.predicted_taken = True
+        rec.predicted_target = target if target is not None else -1
+        self._bundle_ended = True
+        if target is None:
+            self._check_btb(su, now)  # misfetch: no target known at all
+            target = su.fallthrough   # fetch falls through until re-steer
+        if self.wrong_path:
+            self.pc = target
+            if self.program.uop_at(target) is None:
+                self.dead = True
+        elif target != rec.actual_next_pc:
+            rec.mispredict = True
+            self.stats.incr("fetch_target_mispredicts")
+            self.wrong_path = True
+            self.pc = target
+            if self.program.uop_at(target) is None:
+                self.dead = True
+        else:
+            self.cursor += 1

@@ -1,0 +1,557 @@
+"""The out-of-order core: cycle loop, allocate/retire, recovery, APF glue.
+
+One :class:`OoOCore` simulates one configuration over one dynamic trace.
+The frontend is the latency-pipe model of :mod:`repro.core.fetch_engine`;
+the backend computes issue/completion timing at allocation with real FU and
+cache contention; branches resolve at their computed completion cycle, at
+which point recovery either pays the full pipeline re-fill delay or — with
+APF — restores the buffered alternate path (Section V-G).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.backend.exec_model import ExecModel
+from repro.branch.banking import BankedTage
+from repro.branch.btb import BTB
+from repro.branch.gshare import Gshare
+from repro.branch.h2p import H2PTable
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.tage import TageSCL
+from repro.common.config import CoreConfig, FetchScheme
+from repro.common.statistics import StatGroup
+from repro.frontend.rename import RenameTable
+from repro.isa.opcodes import BranchKind, Op
+from repro.memory.cache import CacheHierarchy
+from repro.memory.tlb import TLB
+from repro.workloads.program import Program
+from repro.workloads.trace import DynamicTrace
+
+from repro.core.apf import AlternatePathBuffer, APFEngine
+from repro.core.fetch_engine import (
+    BranchUnit,
+    MainFetchEngine,
+    synthetic_address,
+)
+from repro.core.uops import BufferedUop, DynUop, InflightBranch
+
+__all__ = ["OoOCore"]
+
+
+def _materialize_ras(main_snapshot: Tuple[int, ...],
+                     ras_state: Tuple[Tuple[int, ...], int]) \
+        -> Tuple[int, ...]:
+    """Combine the main-RAS snapshot with a shadow-RAS overlay state into a
+    concrete stack (used as the checkpoint of a restored branch)."""
+    overlay, pops = ras_state
+    base = list(main_snapshot)
+    if pops:
+        base = base[:-pops] if pops <= len(base) else []
+    return tuple(base) + tuple(overlay)
+
+
+class OoOCore:
+    def __init__(self, config: CoreConfig, program: Program,
+                 trace: DynamicTrace, seed: int = 1234) -> None:
+        self.config = config
+        self.program = program
+        self.trace = trace
+        self.stats = StatGroup("core")
+
+        # prediction structures
+        apf_cfg = config.apf
+        banks = 1
+        if apf_cfg.enabled and apf_cfg.fetch_scheme == FetchScheme.BANKED:
+            banks = apf_cfg.tage_banks
+        elif config.baseline_tage_banks > 1:
+            banks = config.baseline_tage_banks
+        if config.predictor_kind == "gshare":
+            predictor = Gshare(config.gshare, seed=seed)
+        elif config.predictor_kind == "perceptron":
+            from repro.branch.perceptron import HashedPerceptron
+            predictor = HashedPerceptron(seed=seed)
+        elif config.predictor_kind != "tage":
+            raise ValueError(
+                f"unknown predictor kind {config.predictor_kind!r}")
+        elif banks > 1:
+            predictor = BankedTage(config.tage, banks, seed=seed)
+        else:
+            predictor = TageSCL(config.tage, seed=seed)
+        self.h2p_table = H2PTable(apf_cfg.h2p)
+        self.branch_unit = BranchUnit(
+            predictor, BTB(config.btb), IndirectPredictor(), self.h2p_table)
+
+        # memory
+        self.hierarchy = CacheHierarchy(config.memory)
+        self.dtlb = TLB(config.memory.dtlb, "dtlb")
+
+        # pipeline
+        self.fetch = MainFetchEngine(program, trace, self.branch_unit,
+                                     self.hierarchy, config, self.stats)
+        self.rename = RenameTable()
+        self.exec = ExecModel(config.backend)
+        self.rob: Deque[DynUop] = deque()
+        self.ftq: Deque[List] = deque()      # [bundle, next_index]
+        self.restore_queue: Deque[Tuple[int, DynUop]] = deque()
+        self.inflight: Deque[InflightBranch] = deque()
+        self.events: List[Tuple[int, int, InflightBranch]] = []
+        self.sched_heap: List[int] = []      # issue cycles of allocated uops
+        self.load_count = 0
+        self.store_count = 0
+
+        self.apf: Optional[APFEngine] = None
+        if apf_cfg.enabled:
+            self.apf = APFEngine(apf_cfg, self.branch_unit, program,
+                                 self.hierarchy, config.frontend, self.stats)
+
+        self.now = 0
+        self.retired = 0
+        self.warmup_target = 0
+        self.warmup_cycle = -1
+        self.warmup_snapshot: dict = {}
+        self._collect = True   # histogram collection flag (post-warmup)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int, warmup: int = 0,
+            max_cycles: int = 0) -> None:
+        """Simulate until ``max_instructions`` retire (or ``max_cycles``)."""
+        self.warmup_target = warmup
+        self._collect = warmup == 0
+        if not max_cycles:
+            max_cycles = 400 * max_instructions
+        target = min(max_instructions, len(self.trace))
+        while self.retired < target and self.now < max_cycles:
+            self._process_events()
+            self._retire()
+            self._allocate()
+            self._fetch_and_apf()
+            self.now += 1
+            if (self.now & 0x3FFF) == 0:
+                self.exec.trim(self.now - 2048)
+        self.stats.set("cycles", self.now)
+        self.stats.set("retired", self.retired)
+
+    # measured-window helpers ------------------------------------------------
+
+    def _cross_warmup(self) -> None:
+        self.warmup_cycle = self.now
+        self.warmup_snapshot = self.stats.snapshot()
+        self._collect = True
+
+    def measured(self, key: str) -> int:
+        return self.stats.get(key) - self.warmup_snapshot.get(key, 0)
+
+    def measured_cycles(self) -> int:
+        start = self.warmup_cycle if self.warmup_cycle >= 0 else 0
+        return self.now - start
+
+    def measured_instructions(self) -> int:
+        return self.retired - min(self.warmup_target, self.retired)
+
+    def ipc(self) -> float:
+        cycles = self.measured_cycles()
+        return self.measured_instructions() / cycles if cycles else 0.0
+
+    def branch_mpki(self) -> float:
+        instrs = self.measured_instructions()
+        if not instrs:
+            return 0.0
+        return 1000.0 * self.measured("cond_mispredicts") / instrs
+
+    # ------------------------------------------------------------------
+    # resolve / recovery
+    # ------------------------------------------------------------------
+
+    def _process_events(self) -> None:
+        while self.events and self.events[0][0] <= self.now:
+            _cycle, _seq, rec = heapq.heappop(self.events)
+            if rec.squashed or rec.resolved:
+                continue
+            self._resolve(rec)
+
+    def _resolve(self, rec: InflightBranch) -> None:
+        rec.resolved = True
+        if not rec.mispredict:
+            if self.apf is not None:
+                self.apf.release_branch(rec)
+            return
+        self.stats.incr("recoveries")
+        if rec.is_conditional:
+            self.h2p_table.record_misprediction(rec.pc)
+        self._flush_younger(rec.seq)
+        self.rename.restore(rec.rat_checkpoint)
+
+        buffer = self.apf.capture(rec) if self.apf is not None else None
+        if self._collect and rec.is_conditional:
+            hist = self.stats.histogram("refill_saved")
+            if buffer is not None and buffer.uops:
+                saved = min(buffer.fetch_cycles,
+                            self.config.apf.pipeline_depth)
+                hist.add(saved)
+            elif rec.h2p_marked or rec.low_conf:
+                hist.add(0)
+            else:
+                hist.add(-1)   # misprediction on a branch never marked
+
+        if buffer is not None and buffer.uops:
+            self.stats.incr("apf_restores")
+            self._restore_from_buffer(rec, buffer)
+        else:
+            self._plain_recovery(rec)
+
+    def _plain_recovery(self, rec: InflightBranch) -> None:
+        fetch = self.fetch
+        fetch.history.restore(rec.hist_checkpoint)
+        if rec.is_conditional:
+            fetch.history.push(rec.actual_taken, rec.pc)
+        fetch.ras.restore(rec.ras_checkpoint)
+        if rec.kind is BranchKind.RETURN:
+            fetch.ras.pop()
+        fetch.redirect_on_trace(rec.recovery_cursor, self.now)
+
+    def _flush_younger(self, seq: int) -> None:
+        rob = self.rob
+        while rob and rob[-1].seq > seq:
+            du = rob.pop()
+            du.squashed = True
+            if du.static.op is Op.LOAD:
+                self.load_count -= 1
+            elif du.static.op is Op.STORE:
+                self.store_count -= 1
+        ftq = self.ftq
+        while ftq:
+            bundle, index = ftq[-1]
+            if bundle.uops[index].seq > seq:
+                ftq.pop()
+                continue
+            while bundle.uops and bundle.uops[-1].seq > seq:
+                bundle.uops.pop()
+            break
+        rq = self.restore_queue
+        while rq and rq[-1][1].seq > seq:
+            rq.pop()
+        inflight = self.inflight
+        while inflight and inflight[-1].seq > seq:
+            rec = inflight.pop()
+            rec.squashed = True
+            if self.apf is not None:
+                self.apf.release_branch(rec)
+
+    # ------------------------------------------------------------------
+    # APF restore (Section V-G)
+    # ------------------------------------------------------------------
+
+    def _restore_from_buffer(self, rec: InflightBranch,
+                             buffer: AlternatePathBuffer) -> None:
+        fe = self.config.frontend
+        apf_depth = self.config.apf.pipeline_depth
+        offset = max(0, fe.depth - apf_depth)
+        bypass_alloc = apf_depth >= fe.depth + 2   # DPIP-17: already allocated
+        cursor = rec.recovery_cursor
+        on_trace = True
+        trace = self.trace
+        fetch = self.fetch
+
+        for index, bu in enumerate(buffer.uops):
+            su = bu.static
+            trace_index = -1
+            if on_trace and cursor >= len(trace):
+                # the trace ends inside the buffered path; stop restoring —
+                # there is no architectural ground truth past this point
+                break
+            if on_trace and trace.uops[cursor].pc == su.pc:
+                trace_index = cursor
+            else:
+                on_trace = False
+            wrong_path = trace_index < 0
+            if su.is_mem:
+                mem_addr = (trace.mem_addr[trace_index] if not wrong_path
+                            else synthetic_address(self.program, su.pc,
+                                                   fetch.seq))
+            else:
+                mem_addr = 0
+            du = DynUop(fetch.seq, su, trace_index, wrong_path, mem_addr,
+                        restored=True)
+            fetch.seq += 1
+            if su.is_branch:
+                branch_rec = self._restored_branch_record(
+                    bu, du, buffer, trace_index)
+                du.branch = branch_rec
+                self.inflight.append(branch_rec)
+                if not wrong_path:
+                    cursor += 1
+                    if branch_rec.mispredict:
+                        on_trace = False
+            elif not wrong_path:
+                cursor += 1
+            ready = self.now + offset + (index // fe.width)
+            if bypass_alloc:
+                ready = self.now
+            self.restore_queue.append((ready, du))
+        self.stats.incr("apf_restored_uops", len(buffer.uops))
+
+        # frontend state fast-forwards to the end of the alternate path
+        fetch.history.ghr = buffer.end_ghr
+        fetch.history.path = buffer.end_path
+        base = _materialize_ras(buffer.main_ras_snapshot,
+                                buffer.shadow_ras_state)
+        fetch.ras.restore(base)
+        if buffer.dead_end:
+            fetch.redirect_wrong_path(buffer.end_pc, self.now)
+        elif on_trace:
+            fetch.redirect_on_trace(cursor, self.now)
+        else:
+            fetch.redirect_wrong_path(buffer.end_pc, self.now)
+
+    def _restored_branch_record(self, bu: BufferedUop, du: DynUop,
+                                buffer: AlternatePathBuffer,
+                                trace_index: int) -> InflightBranch:
+        su = bu.static
+        rec = InflightBranch(du.seq, su, su.kind, trace_index >= 0, self.now)
+        rec.predicted_taken = bu.predicted_taken
+        rec.predicted_target = bu.predicted_target
+        rec.hist_checkpoint = bu.hist_checkpoint
+        rec.ghr_at_predict = bu.ghr_at_predict
+        rec.path_at_predict = bu.path_at_predict
+        rec.ras_checkpoint = _materialize_ras(buffer.main_ras_snapshot,
+                                              bu.ras_state)
+        rec.h2p_marked = bu.h2p_marked
+        rec.low_conf = bu.low_conf
+        if trace_index >= 0:
+            trace = self.trace
+            rec.recovery_cursor = trace_index + 1
+            rec.actual_taken = trace.taken[trace_index]
+            rec.actual_next_pc = trace.next_pc[trace_index]
+            if su.is_cond_branch:
+                rec.mispredict = bu.predicted_taken != rec.actual_taken
+            elif su.kind in (BranchKind.RETURN, BranchKind.INDIRECT):
+                rec.mispredict = bu.predicted_target != rec.actual_next_pc
+        if self.apf is not None:
+            if self.apf.is_dpip:
+                # DPIP never saved RAT/free-list context for branches on the
+                # alternate path, so it cannot start processing them even
+                # after the path is promoted (Section IV, Fig. 3-vi)
+                rec.dpip_eligible = False
+            else:
+                self.apf.note_new_branch(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    # allocate
+    # ------------------------------------------------------------------
+
+    def _has_backend_space(self, du: DynUop) -> bool:
+        be = self.config.backend
+        if len(self.rob) >= be.rob_entries:
+            self.stats.incr("stall_rob_full")
+            return False
+        if len(self.sched_heap) >= be.scheduler_entries:
+            self.stats.incr("stall_scheduler_full")
+            return False
+        op = du.static.op
+        if op is Op.LOAD and self.load_count >= be.load_queue_entries:
+            self.stats.incr("stall_lq_full")
+            return False
+        if op is Op.STORE and self.store_count >= be.store_queue_entries:
+            self.stats.incr("stall_sq_full")
+            return False
+        return True
+
+    def _allocate(self) -> None:
+        while self.sched_heap and self.sched_heap[0] <= self.now:
+            heapq.heappop(self.sched_heap)
+        budget = self.config.backend.allocate_width
+        rq = self.restore_queue
+        while budget and rq and rq[0][0] <= self.now:
+            du = rq[0][1]
+            if not self._has_backend_space(du):
+                return
+            rq.popleft()
+            self._allocate_uop(du)
+            budget -= 1
+        ftq = self.ftq
+        while budget and ftq:
+            bundle, index = ftq[0]
+            if bundle.ready_cycle > self.now or index >= len(bundle.uops):
+                if index >= len(bundle.uops):
+                    ftq.popleft()
+                    continue
+                break
+            du = bundle.uops[index]
+            if not self._has_backend_space(du):
+                return
+            ftq[0][1] += 1
+            if ftq[0][1] >= len(bundle.uops):
+                ftq.popleft()
+            self._allocate_uop(du)
+            budget -= 1
+
+    def _allocate_uop(self, du: DynUop) -> None:
+        now = self.now
+        rename = self.rename
+        su = du.static
+        ready = now + 1
+        for src in su.sources():
+            tag_ready = rename.ready_cycle(rename.lookup(src))
+            if tag_ready > ready:
+                ready = tag_ready
+        rec = du.branch
+        if rec is not None and not rec.allocated:
+            rec.rat_checkpoint = rename.checkpoint()
+            rec.allocated = True
+        fu = self.exec.fu_class(su.op)
+        issue = self.exec.schedule(fu, ready)
+        op = su.op
+        if op is Op.LOAD:
+            agen_done = issue + self.config.backend.agen_latency
+            latency = self.hierarchy.dload(du.mem_addr, agen_done)
+            latency += self.dtlb.access(du.mem_addr)
+            done = agen_done + latency
+            self.load_count += 1
+        elif op is Op.STORE:
+            done = issue + self.config.backend.agen_latency
+            self.hierarchy.dstore(du.mem_addr, done)
+            self.store_count += 1
+        else:
+            done = issue + self.exec.latency(fu)
+        if su.dest >= 0:
+            tag = rename.allocate(su.dest)
+            rename.set_ready(tag, done)
+        du.done_cycle = done
+        self.rob.append(du)
+        heapq.heappush(self.sched_heap, issue)
+        if rec is not None and rec.on_trace and not rec.resolved \
+                and rec.kind in (BranchKind.CONDITIONAL, BranchKind.RETURN,
+                                 BranchKind.INDIRECT):
+            heapq.heappush(self.events, (done, rec.seq, rec))
+
+    # ------------------------------------------------------------------
+    # retire
+    # ------------------------------------------------------------------
+
+    def _retire(self) -> None:
+        budget = self.config.backend.retire_width
+        rob = self.rob
+        while budget and rob and rob[0].done_cycle <= self.now:
+            du = rob.popleft()
+            budget -= 1
+            self.retired += 1
+            op = du.static.op
+            if op is Op.LOAD:
+                self.load_count -= 1
+                self.stats.incr("retired_loads")
+            elif op is Op.STORE:
+                self.store_count -= 1
+                self.stats.incr("retired_stores")
+            rec = du.branch
+            if rec is not None:
+                self._finalize_branch(rec)
+                if self.inflight and self.inflight[0] is rec:
+                    self.inflight.popleft()
+                else:   # retire out of deque order is impossible; prune
+                    try:
+                        self.inflight.remove(rec)
+                    except ValueError:
+                        pass
+            self.h2p_table.tick_instructions(1)
+            if self.retired == self.warmup_target:
+                self._cross_warmup()
+
+    def _finalize_branch(self, rec: InflightBranch) -> None:
+        su = rec.uop
+        stats = self.stats
+        if rec.kind is BranchKind.CONDITIONAL:
+            stats.incr("cond_branches")
+            backward = 0 <= su.target < su.pc
+            self.branch_unit.predictor.update(
+                rec.pc, rec.ghr_at_predict, rec.actual_taken,
+                rec.path_at_predict, backward=backward)
+            if rec.mispredict:
+                stats.incr("cond_mispredicts")
+            # Table II bookkeeping
+            if rec.h2p_marked:
+                stats.incr("h2p_marked")
+                if rec.mispredict:
+                    stats.incr("h2p_marked_mis")
+            if rec.low_conf:
+                stats.incr("lowconf_marked")
+                if rec.mispredict:
+                    stats.incr("lowconf_marked_mis")
+        elif rec.kind is BranchKind.INDIRECT:
+            stats.incr("indirect_branches")
+            self.branch_unit.indirect.update(
+                rec.pc, rec.ghr_at_predict, rec.actual_next_pc)
+            if rec.mispredict:
+                stats.incr("indirect_mispredicts")
+        elif rec.kind is BranchKind.RETURN:
+            stats.incr("returns")
+            if rec.mispredict:
+                stats.incr("return_mispredicts")
+
+    # ------------------------------------------------------------------
+    # fetch + APF orchestration
+    # ------------------------------------------------------------------
+
+    def _fetch_and_apf(self) -> None:
+        fe = self.config.frontend
+        apf = self.apf
+        if apf is None:
+            self._main_fetch()
+            return
+        scheme = self.config.apf.fetch_scheme
+        if scheme == FetchScheme.TIME_SHARED:
+            period = (self.config.apf.timeshare_main_cycles
+                      + self.config.apf.timeshare_alt_cycles)
+            apf_turn = (self.now % period) \
+                >= self.config.apf.timeshare_main_cycles
+            # only give the cycle to the alternate path if it can actually
+            # fetch: an active job, or a startable candidate on a free pipe
+            can_use = (apf.active_job is not None
+                       or (not apf.pipeline_busy()
+                           and apf.select_candidate(self.inflight)
+                           is not None))
+            fetched = False
+            if not (apf_turn and can_use):
+                fetched = self._main_fetch()
+            if (apf_turn or not fetched) and can_use:
+                # opportunistic round-robin: the alternate path also takes
+                # cycles the main path cannot use (stall / FTQ full)
+                apf.cycle(self.now, self.inflight, self.fetch.history,
+                          self.fetch.ras, can_fetch=True,
+                          blocked_tage_banks=set(),
+                          blocked_icache_banks=set())
+                self.stats.incr("timeshare_alt_cycles")
+            return
+        # banked / dual-port: both paths run every cycle
+        fetched = self._main_fetch()
+        if scheme == FetchScheme.DUAL_PORT or not fetched:
+            blocked_tage: set = set()
+            blocked_icache: set = set()
+        else:
+            blocked_tage = self.fetch.cycle_tage_banks
+            blocked_icache = self.fetch.cycle_icache_banks
+        apf.cycle(self.now, self.inflight, self.fetch.history,
+                  self.fetch.ras, can_fetch=True,
+                  blocked_tage_banks=blocked_tage,
+                  blocked_icache_banks=blocked_icache)
+        del fe
+
+    def _main_fetch(self) -> bool:
+        if len(self.ftq) >= self.config.frontend.fetch_queue_entries:
+            self.stats.incr("stall_ftq_full")
+            return False
+        bundle = self.fetch.step(self.now)
+        if bundle is None:
+            return False
+        self.ftq.append([bundle, 0])
+        for rec in self.fetch.new_branches:
+            self.inflight.append(rec)
+            if self.apf is not None:
+                self.apf.note_new_branch(rec)
+        return True

@@ -1,0 +1,5 @@
+"""Frontend components: renaming (fetch lives in repro.core.fetch_engine)."""
+
+from repro.frontend.rename import RenameTable
+
+__all__ = ["RenameTable"]

@@ -1,0 +1,54 @@
+"""Register renaming: RAT, checkpoints, and the ready-time scoreboard.
+
+Physical registers are modelled as monotonically increasing tags; the
+scoreboard maps a tag to the cycle its value becomes available. Branches
+checkpoint the RAT (a 32-entry tuple) so misprediction recovery restores
+the mapping exactly — squashed uops only ever wrote tags that no surviving
+mapping references, so the scoreboard needs no rollback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa.opcodes import NUM_ARCH_REGS
+
+__all__ = ["RenameTable"]
+
+
+class RenameTable:
+    def __init__(self) -> None:
+        self._next_tag = NUM_ARCH_REGS
+        self._rat: List[int] = list(range(NUM_ARCH_REGS))
+        self._ready: Dict[int, int] = {tag: 0 for tag in range(NUM_ARCH_REGS)}
+        self.checkpoints_taken = 0
+
+    def lookup(self, arch_reg: int) -> int:
+        return self._rat[arch_reg]
+
+    def ready_cycle(self, tag: int) -> int:
+        return self._ready.get(tag, 0)
+
+    def allocate(self, arch_reg: int) -> int:
+        """Map ``arch_reg`` to a fresh tag; caller sets its ready time."""
+        tag = self._next_tag
+        self._next_tag += 1
+        self._rat[arch_reg] = tag
+        return tag
+
+    def set_ready(self, tag: int, cycle: int) -> None:
+        self._ready[tag] = cycle
+
+    def checkpoint(self) -> Tuple[int, ...]:
+        self.checkpoints_taken += 1
+        return tuple(self._rat)
+
+    def restore(self, snapshot: Tuple[int, ...]) -> None:
+        self._rat = list(snapshot)
+
+    def compact(self, min_live_tag: int) -> None:
+        """Drop scoreboard entries for tags below ``min_live_tag`` that are
+        no longer mapped (called occasionally to bound memory)."""
+        live = set(self._rat)
+        self._ready = {tag: cyc for tag, cyc in self._ready.items()
+                       if tag in live or tag >= min_live_tag}

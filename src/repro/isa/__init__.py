@@ -1,0 +1,15 @@
+"""The simulator's micro-op ISA."""
+
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    MEMORY_OPS,
+    NUM_ARCH_REGS,
+    UOP_BYTES,
+    BranchKind,
+    Op,
+    branch_kind,
+)
+from repro.isa.uop import StaticUop
+
+__all__ = ["BRANCH_OPS", "MEMORY_OPS", "NUM_ARCH_REGS", "UOP_BYTES",
+           "BranchKind", "Op", "branch_kind", "StaticUop"]

@@ -1,0 +1,7 @@
+"""Memory hierarchy substrate: caches, TLBs, DRAM timing."""
+
+from repro.memory.cache import Cache, CacheHierarchy
+from repro.memory.dram import Dram
+from repro.memory.tlb import TLB
+
+__all__ = ["Cache", "CacheHierarchy", "Dram", "TLB"]

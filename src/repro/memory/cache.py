@@ -1,0 +1,127 @@
+"""Set-associative cache timing model.
+
+Caches here answer a single question per access: how many cycles until the
+data is available? The model tracks tags with true LRU, supports banking
+(used by the I-cache), and chains misses to the next level. Contents are
+not stored — the functional emulator owns data values — so the model is a
+pure timing structure, which is exactly what Scarab's cache model provides
+to its frontend.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import CacheConfig
+from repro.common.statistics import StatGroup
+
+__all__ = ["Cache", "CacheHierarchy"]
+
+
+class Cache:
+    """One cache level (tag store + LRU, latency accounting)."""
+
+    def __init__(self, config: CacheConfig,
+                 next_level: Optional["Cache"] = None,
+                 miss_latency: int = 200) -> None:
+        self.config = config
+        self.next_level = next_level
+        self.miss_latency = miss_latency  # used when there is no next level
+        self.num_sets = config.num_sets
+        self._tags: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self._lru: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = StatGroup(config.name)
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def _offset_bits(self) -> int:
+        return self.config.line_bytes.bit_length() - 1
+
+    def line_of(self, address: int) -> int:
+        return address >> self._offset_bits()
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU or allocating."""
+        line = self.line_of(address)
+        return line in self._tags[self._set_index(line)]
+
+    def access(self, address: int, is_write: bool = False) -> int:
+        """Access the line containing ``address``; return total latency."""
+        self._clock += 1
+        line = self.line_of(address)
+        set_index = self._set_index(line)
+        tags = self._tags[set_index]
+        self.stats.incr("accesses")
+        if is_write:
+            self.stats.incr("writes")
+        if line in tags:
+            self.stats.incr("hits")
+            slot = tags.index(line)
+            self._lru[set_index][slot] = self._clock
+            return self.config.hit_latency
+        self.stats.incr("misses")
+        if self.next_level is not None:
+            fill_latency = self.next_level.access(address, is_write)
+        else:
+            fill_latency = self.miss_latency
+        self._fill(line, set_index)
+        return self.config.hit_latency + fill_latency
+
+    def _fill(self, line: int, set_index: int) -> None:
+        tags = self._tags[set_index]
+        lru = self._lru[set_index]
+        if len(tags) >= self.config.associativity:
+            victim = min(range(len(tags)), key=lambda i: lru[i])
+            tags[victim] = line
+            lru[victim] = self._clock
+            self.stats.incr("evictions")
+        else:
+            tags.append(line)
+            lru.append(self._clock)
+
+    def flush(self) -> None:
+        self._tags = [[] for _ in range(self.num_sets)]
+        self._lru = [[] for _ in range(self.num_sets)]
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.rate("misses", "accesses")
+
+
+class CacheHierarchy:
+    """I-cache + D-cache over a shared L2 and LLC, backed by DRAM timing."""
+
+    def __init__(self, memory_config, dram=None) -> None:
+        from repro.memory.dram import Dram  # local import avoids a cycle
+        self.dram = dram if dram is not None else Dram(memory_config.dram)
+        self.llc = Cache(memory_config.llc, next_level=None)
+        self.llc.miss_latency = 0  # DRAM latency added explicitly below
+        self.l2 = Cache(memory_config.l2, next_level=self.llc)
+        self.icache = Cache(memory_config.icache, next_level=self.l2)
+        self.dcache = Cache(memory_config.dcache, next_level=self.l2)
+
+    def ifetch(self, address: int, cycle: int = 0) -> int:
+        latency = self._access(self.icache, address, cycle, is_write=False)
+        # next-line instruction prefetch: fill the following line without
+        # charging the frontend (standard in the kind of aggressive cores
+        # the paper baselines against)
+        next_line = address + self.icache.config.line_bytes
+        if not self.icache.probe(next_line):
+            self._access(self.icache, next_line, cycle, is_write=False)
+        return latency
+
+    def dload(self, address: int, cycle: int = 0) -> int:
+        return self._access(self.dcache, address, cycle, is_write=False)
+
+    def dstore(self, address: int, cycle: int = 0) -> int:
+        return self._access(self.dcache, address, cycle, is_write=True)
+
+    def _access(self, first: Cache, address: int, cycle: int,
+                is_write: bool) -> int:
+        llc_misses_before = self.llc.stats.get("misses")
+        latency = first.access(address, is_write)
+        if self.llc.stats.get("misses") != llc_misses_before:
+            latency += self.dram.access(address, cycle)
+        return latency

@@ -1,0 +1,46 @@
+"""Banked DRAM timing model (Ramulator substitute).
+
+Models what matters to branch-resolution timing: per-bank row buffers with
+hit/miss/conflict latencies plus a fixed channel latency. Each bank
+remembers its open row and the cycle it becomes free; a request to a busy
+bank queues behind it.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DramConfig
+from repro.common.statistics import StatGroup
+
+__all__ = ["Dram"]
+
+
+class Dram:
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self._open_row = [-1] * config.num_banks
+        self._bank_free_at = [0] * config.num_banks
+        self.stats = StatGroup("dram")
+
+    def _bank_and_row(self, address: int) -> tuple:
+        row = address // self.config.row_bytes
+        bank = row % self.config.num_banks
+        return bank, row
+
+    def access(self, address: int, cycle: int = 0) -> int:
+        """Return the latency of a DRAM access issued at ``cycle``."""
+        cfg = self.config
+        bank, row = self._bank_and_row(address)
+        self.stats.incr("accesses")
+        queue_delay = max(0, self._bank_free_at[bank] - cycle)
+        if self._open_row[bank] == row:
+            service = cfg.t_row_hit
+            self.stats.incr("row_hits")
+        elif self._open_row[bank] < 0:
+            service = cfg.t_row_miss
+            self.stats.incr("row_misses")
+        else:
+            service = cfg.t_row_conflict
+            self.stats.incr("row_conflicts")
+        self._open_row[bank] = row
+        self._bank_free_at[bank] = cycle + queue_delay + service
+        return cfg.channel_latency + queue_delay + service

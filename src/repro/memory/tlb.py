@@ -1,0 +1,35 @@
+"""Simple TLB model.
+
+The paper uses a large TLB ("does not affect APF's relative improvement"),
+so the model is intentionally plain: fully-associative-equivalent LRU over
+page numbers with a fixed miss penalty.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.config import TLBConfig
+from repro.common.statistics import StatGroup
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    def __init__(self, config: TLBConfig, name: str = "tlb") -> None:
+        self.config = config
+        self._entries: OrderedDict = OrderedDict()
+        self.stats = StatGroup(name)
+
+    def access(self, address: int) -> int:
+        """Return extra latency (0 on hit, miss_latency on miss)."""
+        page = address // self.config.page_bytes
+        self.stats.incr("accesses")
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            return 0
+        self.stats.incr("misses")
+        self._entries[page] = True
+        if len(self._entries) > self.config.entries:
+            self._entries.popitem(last=False)
+        return self.config.miss_latency

@@ -1,0 +1,123 @@
+"""Synthetic graph generation for the GAP-style kernels.
+
+The GAP benchmark suite runs on Kronecker graphs (g=19) and road networks;
+offline we generate power-law graphs by preferential attachment and uniform
+random graphs with a deterministic RNG, scaled down so pure-Python
+simulation of the kernels stays fast while preserving the properties the
+kernels' branches depend on: skewed degree distributions, unsorted frontier
+visitation, and data-dependent adjacency intersections.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.rng import DeterministicRng
+
+__all__ = ["CSRGraph", "uniform_graph", "power_law_graph"]
+
+
+class CSRGraph:
+    """Compressed sparse row adjacency with optional edge weights."""
+
+    def __init__(self, num_nodes: int, adjacency: List[List[int]],
+                 weights: List[List[int]]) -> None:
+        if len(adjacency) != num_nodes or len(weights) != num_nodes:
+            raise ValueError("adjacency/weights must have num_nodes rows")
+        self.num_nodes = num_nodes
+        self.row_ptr: List[int] = [0]
+        self.col: List[int] = []
+        self.weight: List[int] = []
+        for node in range(num_nodes):
+            neighbors = sorted(zip(adjacency[node], weights[node]))
+            for dst, w in neighbors:
+                self.col.append(dst)
+                self.weight.append(w)
+            self.row_ptr.append(len(self.col))
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.col)
+
+    def degree(self, node: int) -> int:
+        return self.row_ptr[node + 1] - self.row_ptr[node]
+
+    def neighbors(self, node: int) -> List[int]:
+        return self.col[self.row_ptr[node]:self.row_ptr[node + 1]]
+
+
+def _dedupe(adjacency: List[List[int]]) -> List[List[int]]:
+    return [sorted(set(neigh)) for neigh in adjacency]
+
+
+def _edge_weight(u: int, v: int, seed: int, max_weight: int) -> int:
+    """Symmetric deterministic weight for the undirected edge {u, v}."""
+    a, b = (u, v) if u < v else (v, u)
+    z = ((a * 0x9E3779B97F4A7C15) ^ (b * 0xBF58476D1CE4E5B9)
+         ^ (seed * 0x94D049BB133111EB)) & ((1 << 64) - 1)
+    z ^= z >> 31
+    return 1 + z % max_weight
+
+
+def _symmetric_weights(adjacency: List[List[int]], seed: int,
+                       max_weight: int) -> List[List[int]]:
+    return [[_edge_weight(u, v, seed, max_weight) for v in neigh]
+            for u, neigh in enumerate(adjacency)]
+
+
+def uniform_graph(num_nodes: int, avg_degree: int,
+                  seed: int = 7, max_weight: int = 255) -> CSRGraph:
+    """Erdos-Renyi-style undirected graph with ~avg_degree edges per node."""
+    rng = DeterministicRng(seed)
+    adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+    num_edges = num_nodes * avg_degree // 2
+    for _ in range(num_edges):
+        u = rng.randint(0, num_nodes - 1)
+        v = rng.randint(0, num_nodes - 1)
+        if u == v:
+            continue
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    adjacency = _dedupe(adjacency)
+    weights = _symmetric_weights(adjacency, seed, max_weight)
+    return CSRGraph(num_nodes, adjacency, weights)
+
+
+def power_law_graph(num_nodes: int, avg_degree: int,
+                    seed: int = 11, max_weight: int = 255) -> CSRGraph:
+    """Preferential-attachment graph (Kronecker substitute): skewed degrees."""
+    rng = DeterministicRng(seed)
+    adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+    endpoint_pool: List[int] = [0, 1]
+    adjacency[0].append(1)
+    adjacency[1].append(0)
+    edges_per_node = max(1, avg_degree // 2)
+    for node in range(2, num_nodes):
+        for _ in range(edges_per_node):
+            # preferential attachment: sample from the endpoint pool
+            target = endpoint_pool[rng.randint(0, len(endpoint_pool) - 1)]
+            if target == node:
+                target = rng.randint(0, node - 1)
+            adjacency[node].append(target)
+            adjacency[target].append(node)
+            endpoint_pool.append(target)
+            endpoint_pool.append(node)
+    adjacency = _dedupe(adjacency)
+    weights = _symmetric_weights(adjacency, seed, max_weight)
+    return CSRGraph(num_nodes, adjacency, weights)
+
+
+def bfs_reachable(graph: CSRGraph, source: int) -> Tuple[int, List[int]]:
+    """Reference BFS (used by tests to validate the assembly kernels)."""
+    dist = [-1] * graph.num_nodes
+    dist[source] = 0
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        for v in graph.neighbors(u):
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return len(queue), dist

@@ -1,0 +1,102 @@
+"""Trace serialisation: save/load (program, dynamic trace) bundles.
+
+Execution-driven simulators distribute workloads as trace files (ChampSim
+traces, SimPoint checkpoints). This module provides the equivalent for our
+uop ISA: a compact, versioned, gzip-compressed container holding the
+static program image and a dynamic trace, so experiments can be re-run
+without regenerating workloads — or shipped to another machine.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Tuple
+
+from repro.isa.opcodes import Op
+from repro.isa.uop import StaticUop
+from repro.workloads.program import Program
+from repro.workloads.trace import DynamicTrace
+
+__all__ = ["save_trace", "load_trace", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def _program_payload(program: Program) -> dict:
+    uops = [[u.op.name, u.dest, u.src1, u.src2, u.imm, u.target, u.label]
+            for u in program.uops()]
+    return {
+        "name": program.name,
+        "entry_pc": program.entry_pc,
+        "code_base": program.code_base,
+        "data_base": program.data_base,
+        "data_end": program.data_end,
+        "arrays": program.arrays,
+        "uops": uops,
+        "data": {str(addr): value
+                 for addr, value in program.initial_data.items()},
+    }
+
+
+def _program_from_payload(payload: dict) -> Program:
+    uops = []
+    pc = payload["code_base"]
+    for op_name, dest, src1, src2, imm, target, label in payload["uops"]:
+        uop = StaticUop(pc, Op[op_name], dest=dest, src1=src1, src2=src2,
+                        imm=imm, target=target, label=label)
+        uops.append(uop)
+        pc += 4
+    data = {int(addr): value for addr, value in payload["data"].items()}
+    return Program(uops, payload["entry_pc"], data, name=payload["name"],
+                   data_base=payload["data_base"],
+                   data_end=payload["data_end"],
+                   arrays=payload.get("arrays", {}))
+
+
+def _trace_payload(trace: DynamicTrace, program: Program) -> dict:
+    code_base = program.code_base
+    indices = [(u.pc - code_base) // 4 for u in trace.uops]
+    return {
+        "program_name": trace.program_name,
+        "uop_indices": indices,
+        "taken": [1 if t else 0 for t in trace.taken],
+        "next_pc": trace.next_pc,
+        "mem_addr": trace.mem_addr,
+    }
+
+
+def _trace_from_payload(payload: dict, program: Program) -> DynamicTrace:
+    trace = DynamicTrace(payload["program_name"])
+    uops = program.uops()
+    for index, taken, next_pc, mem_addr in zip(
+            payload["uop_indices"], payload["taken"],
+            payload["next_pc"], payload["mem_addr"]):
+        trace.append(uops[index], bool(taken), next_pc, mem_addr)
+    return trace
+
+
+def save_trace(path, program: Program, trace: DynamicTrace) -> None:
+    """Write a compressed (program, trace) bundle to ``path``."""
+    bundle = {
+        "version": TRACE_FORMAT_VERSION,
+        "program": _program_payload(program),
+        "trace": _trace_payload(trace, program),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with gzip.open(path, "wt", compresslevel=6) as handle:
+        json.dump(bundle, handle)
+
+
+def load_trace(path) -> Tuple[Program, DynamicTrace]:
+    """Read a bundle written by :func:`save_trace`."""
+    with gzip.open(Path(path), "rt") as handle:
+        bundle = json.load(handle)
+    version = bundle.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    program = _program_from_payload(bundle["program"])
+    trace = _trace_from_payload(bundle["trace"], program)
+    return program, trace

@@ -1,0 +1,141 @@
+"""Tests for analysis: metrics, report rendering, harness cache, area."""
+
+import os
+
+import pytest
+
+from repro.analysis.area import OverheadModel
+from repro.analysis.harness import (
+    bench_windows,
+    config_signature,
+    run_cached,
+)
+from repro.analysis.metrics import (
+    BUCKET_LABELS,
+    coverage_buckets,
+    geomean_speedup,
+    speedups,
+)
+from repro.analysis.report import format_pct, render_series, render_table
+from repro.common.config import small_core_config
+from repro.common.statistics import Histogram
+from repro.core.simulator import SimResult
+
+
+def fake_result(name, ipc, mpki=5.0, counters=None, hist=None):
+    return SimResult(workload=name, instructions=1000, cycles=int(1000 / ipc),
+                     ipc=ipc, branch_mpki=mpki, cond_branches=100,
+                     cond_mispredicts=int(mpki), counters=counters or {},
+                     refill_saved=hist or Histogram())
+
+
+class TestMetrics:
+    def test_speedups_and_geomean(self):
+        base = {"a": fake_result("a", 1.0), "b": fake_result("b", 2.0)}
+        new = {"a": fake_result("a", 1.1), "b": fake_result("b", 2.2)}
+        sp = speedups(new, base)
+        assert sp["a"] == pytest.approx(1.1)
+        assert geomean_speedup(new, base) == pytest.approx(1.1)
+
+    def test_coverage_buckets(self):
+        hist = Histogram()
+        hist.add(-1, 2)   # unmarked
+        hist.add(0, 2)    # marked, no saving
+        hist.add(3, 2)    # 1-4
+        hist.add(13, 2)   # 13+
+        buckets = coverage_buckets([fake_result("x", 1.0, hist=hist)])
+        assert buckets["not marked"] == 0.25
+        assert buckets["0 cycles"] == 0.25
+        assert buckets["1-4"] == 0.25
+        assert buckets["13+"] == 0.25
+        assert sum(buckets.values()) == pytest.approx(1.0)
+
+    def test_coverage_buckets_empty(self):
+        buckets = coverage_buckets([fake_result("x", 1.0)])
+        assert all(v == 0.0 for v in buckets.values())
+        assert list(buckets) == BUCKET_LABELS
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"],
+                            [("a", 1), ("long_name", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_name" in lines[3] or "long_name" in lines[4]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/sep/rows aligned
+
+    def test_render_series(self):
+        text = render_series({"apf": {"x": 1.05}, "dpip": {"x": 1.01}})
+        assert "apf" in text and "dpip" in text and "1.050" in text
+
+    def test_format_pct(self):
+        assert format_pct(0.0512) == "5.1%"
+
+
+class TestHarness:
+    def test_signature_stable_and_distinct(self):
+        a = small_core_config()
+        b = small_core_config().with_apf()
+        assert config_signature(a) == config_signature(small_core_config())
+        assert config_signature(a) != config_signature(b)
+
+    def test_windows_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_windows() == (40_000, 25_000)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert bench_windows() == (100_000, 60_000)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            bench_windows()
+
+    def test_run_cached_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cfg = small_core_config()
+        first = run_cached("xz", cfg, warmup=1_000, measure=2_000)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        second = run_cached("xz", cfg, warmup=1_000, measure=2_000)
+        assert second.ipc == first.ipc
+        assert second.counters == first.counters
+        assert second.refill_saved.as_dict() == first.refill_saved.as_dict()
+
+    def test_cache_distinguishes_windows(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cfg = small_core_config()
+        run_cached("xz", cfg, warmup=1_000, measure=2_000)
+        run_cached("xz", cfg, warmup=1_000, measure=3_000)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+class TestAreaModel:
+    def test_apf_storage_inventory(self):
+        model = OverheadModel(small_core_config().with_apf())
+        storage = model.apf_storage()
+        assert "alternate_path_buffers" in storage
+        assert storage["alternate_path_buffers"].bytes \
+            > storage["shadow_ras"].bytes
+        assert model.total_apf_storage_bytes() > 0
+
+    def test_apf_logic_area_small(self):
+        model = OverheadModel(small_core_config().with_apf())
+        assert 0.0 < model.logic_area_fraction() < 0.05
+        assert model.wide_core_area_fraction() > model.logic_area_fraction()
+
+    def test_dpip_logic_area_larger(self):
+        from repro.common.config import AlternatePathMode
+        apf = OverheadModel(small_core_config().with_apf())
+        dpip = OverheadModel(small_core_config().with_apf(
+            mode=AlternatePathMode.DPIP, pipeline_depth=17))
+        assert dpip.logic_area_fraction() > apf.logic_area_fraction()
+
+    def test_disabled_apf_no_overhead(self):
+        model = OverheadModel(small_core_config())
+        assert model.logic_area_fraction() == 0.0
+
+    def test_shallower_apf_cheaper(self):
+        deep = OverheadModel(small_core_config().with_apf(pipeline_depth=13))
+        shallow = OverheadModel(
+            small_core_config().with_apf(pipeline_depth=7))
+        assert shallow.logic_area_fraction() \
+            <= deep.logic_area_fraction()

@@ -1,0 +1,292 @@
+"""Unit tests for the APF engine: job lifecycle, buffers, scheduling."""
+
+import pytest
+
+from repro.branch.btb import BTB
+from repro.branch.h2p import H2PTable
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.history import SpeculativeHistory
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.tage import TageSCL
+from repro.common.config import (
+    APFConfig,
+    AlternatePathMode,
+    BTBConfig,
+    FrontendConfig,
+    H2PTableConfig,
+    small_core_config,
+)
+from repro.core.apf import APFEngine
+from repro.core.fetch_engine import BranchUnit
+from repro.core.uops import InflightBranch
+from repro.isa.opcodes import BranchKind, Op
+from repro.memory.cache import CacheHierarchy
+from repro.common.statistics import StatGroup
+from repro.workloads.program import ProgramBuilder
+
+
+def straight_line_program(length=300):
+    b = ProgramBuilder()
+    b.label("entry")
+    loop = b.label("loop")
+    for _ in range(length):
+        b.alu(Op.ADD, 1, 1, 1)
+    b.jump(loop)
+    return b.finalize(entry_label="entry")
+
+
+def make_engine(program=None, **apf_overrides):
+    config = small_core_config()
+    apf_cfg = APFConfig(enabled=True, **apf_overrides)
+    program = program or straight_line_program()
+    bu = BranchUnit(TageSCL(config.tage, seed=3), BTB(BTBConfig()),
+                    IndirectPredictor(), H2PTable(H2PTableConfig()))
+    hierarchy = CacheHierarchy(config.memory)
+    # pre-warm the I-cache so alternate-path fetch doesn't instantly
+    # terminate on cold misses
+    for pc in range(program.code_base, program.code_base + 2048, 32):
+        hierarchy.ifetch(pc)
+    stats = StatGroup("apf")
+    engine = APFEngine(apf_cfg, bu, program, hierarchy,
+                       FrontendConfig(), stats)
+    return engine, program
+
+
+def make_branch(program, seq=10, pc_offset=0, taken=False,
+                h2p=True, low_conf=False):
+    pc = program.code_base + pc_offset
+    uop = program.uop_at(pc)
+    if uop is None or not uop.is_branch:
+        # synthesise a conditional branch record over an arbitrary pc
+        from repro.isa.uop import StaticUop
+        uop = StaticUop(pc, Op.BEQZ, src1=1,
+                        target=program.code_base + 64)
+    rec = InflightBranch(seq, uop, BranchKind.CONDITIONAL, True, 0)
+    rec.predicted_taken = taken
+    rec.h2p_marked = h2p
+    rec.low_conf = low_conf
+    rec.hist_checkpoint = (0, 0)
+    rec.ras_checkpoint = ()
+    return rec
+
+
+def main_state():
+    return SpeculativeHistory(128), ReturnAddressStack(32)
+
+
+class TestJobLifecycle:
+    def test_start_job_inverts_prediction(self):
+        engine, program = make_engine()
+        rec = make_branch(program, taken=False)
+        hist, ras = main_state()
+        engine.start_job(rec, hist, ras)
+        job = engine.active_job
+        assert job is not None
+        # predicted not-taken => alternate path starts at the taken target
+        assert job.pc == rec.uop.target
+        assert rec.apf_job is job
+
+    def test_job_completes_after_depth_cycles(self):
+        engine, program = make_engine(pipeline_depth=5)
+        rec = make_branch(program)
+        hist, ras = main_state()
+        for cycle in range(10):
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=set())
+            if rec.apf_buffer is not None:
+                break
+        assert rec.apf_buffer is not None
+        assert engine.active_job is None
+        assert 0 < len(rec.apf_buffer.uops) <= 5 * 8
+
+    def test_buffer_capacity_respected(self):
+        engine, program = make_engine(pipeline_depth=13,
+                                      buffer_capacity_uops=16)
+        rec = make_branch(program)
+        hist, ras = main_state()
+        for cycle in range(20):
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=set())
+        assert rec.apf_buffer is not None
+        assert len(rec.apf_buffer.uops) <= 16
+
+    def test_held_when_no_buffer_free(self):
+        engine, program = make_engine(pipeline_depth=3, num_buffers=0)
+        rec = make_branch(program)
+        hist, ras = main_state()
+        for cycle in range(8):
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=set())
+        assert engine.held_job is not None
+        assert engine.pipeline_busy()
+        # a second candidate cannot start while the pipeline holds a path
+        rec2 = make_branch(program, seq=20, pc_offset=8)
+        engine.cycle(9, [rec, rec2], hist, ras, can_fetch=True,
+                     blocked_tage_banks=set(), blocked_icache_banks=set())
+        assert rec2.apf_job is None
+
+    def test_release_frees_buffer(self):
+        engine, program = make_engine(pipeline_depth=3, num_buffers=2)
+        rec = make_branch(program)
+        hist, ras = main_state()
+        for cycle in range(8):
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=set())
+        assert rec.apf_buffer is not None
+        engine.release_branch(rec)
+        assert rec.apf_buffer is None
+        assert engine.free_buffer_index() == 0
+
+    def test_capture_from_pipeline_mid_fetch(self):
+        engine, program = make_engine(pipeline_depth=13)
+        rec = make_branch(program)
+        hist, ras = main_state()
+        for cycle in range(3):   # partial fetch only
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=set())
+        buffer = engine.capture(rec)
+        assert buffer is not None
+        assert buffer.uops
+        assert engine.active_job is None
+
+    def test_capture_returns_none_without_path(self):
+        engine, program = make_engine()
+        rec = make_branch(program)
+        assert engine.capture(rec) is None
+
+
+class TestScheduling:
+    def test_low_confidence_priority(self):
+        engine, program = make_engine(use_tage_confidence=True)
+        older_h2p = make_branch(program, seq=1, h2p=True, low_conf=False)
+        younger_low = make_branch(program, seq=2, pc_offset=8,
+                                  h2p=False, low_conf=True)
+        pick = engine.select_candidate([older_h2p, younger_low])
+        assert pick is younger_low
+
+    def test_oldest_first_within_class(self):
+        engine, program = make_engine()
+        a = make_branch(program, seq=1, low_conf=True)
+        b = make_branch(program, seq=2, pc_offset=8, low_conf=True)
+        assert engine.select_candidate([a, b]) is a
+
+    def test_h2p_only_when_confidence_disabled(self):
+        engine, program = make_engine(use_tage_confidence=False)
+        low = make_branch(program, seq=1, h2p=False, low_conf=True)
+        h2p = make_branch(program, seq=2, pc_offset=8, h2p=True)
+        assert engine.select_candidate([low, h2p]) is h2p
+
+    def test_resolved_and_squashed_skipped(self):
+        engine, program = make_engine()
+        rec = make_branch(program, low_conf=True)
+        rec.resolved = True
+        assert engine.select_candidate([rec]) is None
+        rec.resolved = False
+        rec.squashed = True
+        assert engine.select_candidate([rec]) is None
+
+    def test_branch_with_existing_path_skipped(self):
+        engine, program = make_engine()
+        rec = make_branch(program, low_conf=True)
+        hist, ras = main_state()
+        engine.start_job(rec, hist, ras)
+        assert engine.select_candidate([rec]) is None
+
+
+class TestDpipRestrictions:
+    def make_dpip(self, program=None):
+        return make_engine(program, mode=AlternatePathMode.DPIP,
+                           pipeline_depth=15, num_buffers=0)
+
+    def test_single_pending_candidate(self):
+        engine, program = self.make_dpip()
+        first = make_branch(program, seq=1, low_conf=True)
+        hist, ras = main_state()
+        engine.start_job(first, hist, ras)
+        second = make_branch(program, seq=2, pc_offset=8, low_conf=True)
+        third = make_branch(program, seq=3, pc_offset=16, low_conf=True)
+        engine.note_new_branch(second)
+        engine.note_new_branch(third)
+        assert second.dpip_eligible
+        assert not third.dpip_eligible
+
+    def test_holds_path_until_resolution(self):
+        engine, program = self.make_dpip()
+        rec = make_branch(program, seq=1, low_conf=True)
+        hist, ras = main_state()
+        for cycle in range(20):
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=set())
+        assert engine.held_job is not None
+        # stays held across more cycles until released
+        engine.cycle(21, [rec], hist, ras, can_fetch=True,
+                     blocked_tage_banks=set(), blocked_icache_banks=set())
+        assert engine.held_job is not None
+        engine.release_branch(rec)
+        assert engine.held_job is None
+
+
+class TestConflicts:
+    def test_icache_bank_conflict_stalls(self):
+        engine, program = make_engine(pipeline_depth=13)
+        rec = make_branch(program)
+        hist, ras = main_state()
+        all_banks = {0, 1, 2, 3}
+        for cycle in range(4):
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=all_banks)
+        assert engine.stats.get("apf_bank_conflict_cycles") >= 3
+        assert engine.stats.get("apf_fetched_uops") == 0
+
+    def test_no_conflict_when_banks_free(self):
+        engine, program = make_engine(pipeline_depth=13)
+        rec = make_branch(program)
+        hist, ras = main_state()
+        for cycle in range(4):
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=set())
+        assert engine.stats.get("apf_bank_conflict_cycles") == 0
+        assert engine.stats.get("apf_fetched_uops") > 0
+
+
+class TestTerminations:
+    def test_indirect_branch_terminates(self):
+        b = ProgramBuilder()
+        b.label("entry")
+        b.movi(1, 0x400100)
+        b.emit(Op.IJUMP, src1=1)
+        b.nop_pad(200)
+        program = b.finalize(entry_label="entry")
+        engine, _ = make_engine(program)
+        rec = make_branch(program, taken=True)  # alt path = fallthrough
+        # fallthrough of a synthetic branch at code_base is code_base+4:
+        # MOVI then IJUMP -> terminate
+        hist, ras = main_state()
+        for cycle in range(6):
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=set())
+            if rec.apf_buffer is not None:
+                break
+        assert engine.stats.get("apf_indirect_terminations") == 1
+
+    def test_icache_miss_terminates_without_fill(self):
+        engine, program = make_engine()
+        # blow away the warmed I-cache
+        engine.hierarchy.icache.flush()
+        misses_before = engine.hierarchy.l2.stats.get("accesses")
+        rec = make_branch(program)
+        hist, ras = main_state()
+        engine.cycle(0, [rec], hist, ras, can_fetch=True,
+                     blocked_tage_banks=set(), blocked_icache_banks=set())
+        assert engine.stats.get("apf_icache_terminations") == 1
+        # the miss must NOT be sent to the next level (Section III-A)
+        assert engine.hierarchy.l2.stats.get("accesses") == misses_before

@@ -1,0 +1,91 @@
+"""Tests for the benchmark harness helper functions (pure logic only —
+the simulations themselves are exercised by the benches)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parents[1] / "benchmarks"))
+
+import bench_common  # noqa: E402
+from repro.common.config import AlternatePathMode, FetchScheme  # noqa: E402
+
+
+class TestConfigs:
+    def test_baseline_has_no_apf(self):
+        assert not bench_common.baseline_config().apf.enabled
+
+    def test_apf_config_is_paper_design_point(self):
+        cfg = bench_common.apf_config()
+        assert cfg.apf.enabled
+        assert cfg.apf.pipeline_depth == 13
+        assert cfg.apf.num_buffers == 4
+        assert cfg.apf.fetch_scheme == FetchScheme.BANKED
+        assert cfg.apf.use_tage_confidence
+
+    def test_dpip_fig8_is_timeshared_17(self):
+        cfg = bench_common.dpip_fig8_config()
+        assert cfg.apf.mode == AlternatePathMode.DPIP
+        assert cfg.apf.pipeline_depth == 17
+        assert cfg.apf.fetch_scheme == FetchScheme.TIME_SHARED
+        assert cfg.apf.timeshare_main_cycles == 1
+        assert cfg.apf.num_buffers == 0
+
+    def test_dpip_parallel_uses_banked(self):
+        cfg = bench_common.dpip_parallel_config(15)
+        assert cfg.apf.fetch_scheme == FetchScheme.BANKED
+        assert cfg.apf.pipeline_depth == 15
+
+    def test_banked_baseline(self):
+        cfg = bench_common.banked_baseline_config(4)
+        assert cfg.baseline_tage_banks == 4
+        assert not cfg.apf.enabled
+
+    def test_wide_core_scales_everything(self):
+        cfg = bench_common.wide_core_config()
+        assert cfg.frontend.width == 16
+        assert cfg.frontend.rename_stages == 3     # the +1 rename stage
+        assert cfg.backend.allocate_width == 16
+        assert cfg.backend.retire_width == 16
+
+    def test_frontend_depth_config_tracks_pre_rat(self):
+        base = bench_common.frontend_depth_config(1, apf=False)
+        assert base.frontend.depth == 12
+        apf = bench_common.frontend_depth_config(1, apf=True)
+        assert apf.apf.pipeline_depth == apf.frontend.pre_rat_depth == 10
+        assert apf.apf.buffer_capacity_uops == 80
+
+    def test_save_result_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(bench_common, "RESULTS_DIR", tmp_path)
+        bench_common.save_result("unit", "hello table")
+        assert (tmp_path / "unit.txt").read_text() == "hello table\n"
+        assert "hello table" in capsys.readouterr().out
+
+
+class TestDepthSweepHelpers:
+    def test_config_for_depth_dispatch(self):
+        import bench_fig09_depth_sweep as fig09
+        apf = fig09.config_for_depth(11)
+        assert apf.apf.mode == AlternatePathMode.APF
+        assert apf.apf.buffer_capacity_uops == 88
+        dpip = fig09.config_for_depth(15)
+        assert dpip.apf.mode == AlternatePathMode.DPIP
+
+
+class TestTable2Aggregation:
+    def test_aggregate_sums_counters(self):
+        import bench_table2_h2p_quality as t2
+        from repro.core.simulator import SimResult
+        from repro.common.statistics import Histogram
+
+        def result(mis, marked, marked_mis):
+            return SimResult(
+                workload="x", instructions=1, cycles=1, ipc=1.0,
+                branch_mpki=0.0, cond_branches=10, cond_mispredicts=mis,
+                counters={"h2p_marked": marked,
+                          "h2p_marked_mis": marked_mis},
+                refill_saved=Histogram())
+        totals = t2.aggregate({"a": result(4, 10, 3),
+                               "b": result(6, 20, 5)})
+        assert totals["mis"] == 10
+        assert totals["h2p_marked"] == 30
+        assert totals["h2p_marked_mis"] == 8

@@ -1,0 +1,107 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import bit, bits, fold_xor, mask, parity, rotate_left
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 0b1
+        assert mask(4) == 0b1111
+        assert mask(8) == 0xFF
+
+    def test_negative_width_raises(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitExtract:
+    def test_bit(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 3) == 1
+
+    def test_bits_range(self):
+        assert bits(0xABCD, 4, 7) == 0xC
+        assert bits(0xABCD, 0, 3) == 0xD
+        assert bits(0xABCD, 8, 15) == 0xAB
+
+    def test_bits_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            bits(0xFF, 4, 3)
+
+
+class TestFoldXor:
+    def test_identity_when_fits(self):
+        assert fold_xor(0b1011, 4, 4) == 0b1011
+        assert fold_xor(0b1011, 4, 8) == 0b1011
+
+    def test_simple_fold(self):
+        # 8 bits folded to 4: high nibble XOR low nibble
+        assert fold_xor(0xA5, 8, 4) == (0xA ^ 0x5)
+
+    def test_three_chunk_fold(self):
+        value = 0b1111_0000_1010
+        assert fold_xor(value, 12, 4) == (0b1111 ^ 0b0000 ^ 0b1010)
+
+    def test_truncates_input_width(self):
+        # bits above input_width must be ignored
+        assert fold_xor(0xFF0F, 8, 4) == fold_xor(0x0F, 8, 4)
+
+    def test_bad_output_width(self):
+        with pytest.raises(ValueError):
+            fold_xor(1, 8, 0)
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1),
+           st.integers(min_value=1, max_value=128),
+           st.integers(min_value=1, max_value=24))
+    def test_result_fits_output_width(self, value, in_w, out_w):
+        assert 0 <= fold_xor(value, in_w, out_w) < (1 << out_w)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_fold_is_linear_in_xor(self, value, out_w):
+        """fold(a ^ b) == fold(a) ^ fold(b) — the CSR linearity property."""
+        other = 0x5A5A_5A5A_5A5A_5A5A
+        lhs = fold_xor(value ^ other, 64, out_w)
+        rhs = fold_xor(value, 64, out_w) ^ fold_xor(other, 64, out_w)
+        assert lhs == rhs
+
+
+class TestParity:
+    def test_known_values(self):
+        assert parity(0) == 0
+        assert parity(1) == 1
+        assert parity(0b11) == 0
+        assert parity(0b111) == 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_matches_popcount(self, value):
+        assert parity(value) == bin(value).count("1") % 2
+
+
+class TestRotate:
+    def test_basic(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+    def test_full_rotation_identity(self):
+        assert rotate_left(0b1011, 4, 4) == 0b1011
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            rotate_left(1, 1, 0)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=64))
+    def test_reversible(self, value, amount):
+        width = 32
+        rotated = rotate_left(value, amount, width)
+        back = rotate_left(rotated, width - (amount % width), width)
+        assert back == value

@@ -1,0 +1,96 @@
+"""Tests for workload characterisation."""
+
+import pytest
+
+from repro.analysis.characterize import characterize
+from repro.isa.opcodes import Op
+from repro.workloads.emulator import Emulator
+from repro.workloads.profiles import workload_trace
+from repro.workloads.program import ProgramBuilder
+from repro.workloads.trace import DynamicTrace
+
+
+def trace_of(build, n=5_000):
+    b = ProgramBuilder()
+    build(b)
+    return Emulator(b.finalize(entry_label="entry")).run(n)
+
+
+class TestCharacterize:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            characterize(DynamicTrace())
+
+    def test_pure_loop(self):
+        def build(b):
+            b.label("entry")
+            loop = b.label("loop")
+            b.alu(Op.ADD, 1, 1, 1)
+            b.alu(Op.ADD, 2, 2, 2)
+            b.jump(loop)
+        profile = characterize(trace_of(build, 3_000))
+        assert profile.instructions == 3_000
+        assert profile.cond_branch_density == 0.0
+        assert profile.taken_density == pytest.approx(1 / 3, abs=0.01)
+        assert profile.mean_basic_block == pytest.approx(3.0, abs=0.1)
+        assert profile.code_footprint_bytes == 12
+
+    def test_branch_mix_fractions(self):
+        def build(b):
+            b.label("entry")
+            b.movi(1, 1_000_000)
+            loop = b.label("loop")
+            b.emit(Op.ADDI, dest=1, src1=1, imm=-1)
+            b.branch(Op.BNEZ, loop, src1=1)
+            b.halt()
+        profile = characterize(trace_of(build, 2_000))
+        assert profile.branch_mix["CONDITIONAL"] > 0.3
+        assert "DIRECT_JUMP" not in profile.branch_mix
+
+    def test_memory_densities_and_working_set(self):
+        def build(b):
+            base = b.alloc_array("arr", 64)
+            b.label("entry")
+            b.movi(1, base)
+            b.movi(2, 0)
+            loop = b.label("loop")
+            b.emit(Op.SHL, dest=3, src1=2, src2=2)  # harmless addr math
+            b.load(4, 1, offset=0)
+            b.store(4, 1, offset=8)
+            b.jump(loop)
+        profile = characterize(trace_of(build, 2_000))
+        assert profile.load_density == pytest.approx(0.25, abs=0.02)
+        assert profile.store_density == pytest.approx(0.25, abs=0.02)
+        assert profile.data_working_set_bytes >= 64
+
+    def test_ilp_proxy_orders_serial_vs_parallel(self):
+        def serial(b):
+            b.label("entry")
+            loop = b.label("loop")
+            for _ in range(8):
+                b.alu(Op.ADD, 1, 1, 1)       # one long chain
+            b.jump(loop)
+
+        def parallel(b):
+            b.label("entry")
+            loop = b.label("loop")
+            for reg in range(1, 9):
+                b.alu(Op.ADD, reg, reg, reg)  # eight chains
+            b.jump(loop)
+        serial_profile = characterize(trace_of(serial, 3_000))
+        parallel_profile = characterize(trace_of(parallel, 3_000))
+        assert parallel_profile.ilp_proxy > 2 * serial_profile.ilp_proxy
+
+    def test_real_workloads_ordering(self):
+        tc = characterize(workload_trace("tc", 10_000))
+        x264 = characterize(workload_trace("x264", 10_000))
+        # tc: tight taken-dense loops; x264: long straight-line blocks
+        assert tc.taken_density > x264.taken_density
+        assert tc.mean_basic_block < x264.mean_basic_block
+        assert tc.cond_branch_density > x264.cond_branch_density
+
+    def test_summary_rows_render(self):
+        profile = characterize(workload_trace("xz", 5_000))
+        rows = profile.summary_rows()
+        assert len(rows) == 9
+        assert all(len(row) == 2 for row in rows)

@@ -1,0 +1,107 @@
+"""CLI tests: argument parsing, config construction, command output."""
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+from repro.common.config import AlternatePathMode, FetchScheme
+
+
+def parse(argv):
+    return build_parser().parse_args(argv)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            parse([])
+
+    def test_run_defaults(self):
+        args = parse(["run"])
+        assert args.workload == "leela"
+        assert not args.apf
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            parse(["run", "--workload", "nonexistent"])
+
+    def test_sweep_requires_parameter(self):
+        with pytest.raises(SystemExit):
+            parse(["sweep"])
+
+
+class TestConfigFromArgs:
+    def test_baseline(self):
+        cfg = config_from_args(parse(["run"]))
+        assert not cfg.apf.enabled
+
+    def test_apf_flags(self):
+        cfg = config_from_args(parse(
+            ["run", "--apf", "--depth", "7", "--buffers", "2",
+             "--scheme", "timeshare", "--no-confidence"]))
+        assert cfg.apf.enabled
+        assert cfg.apf.pipeline_depth == 7
+        assert cfg.apf.num_buffers == 2
+        assert cfg.apf.buffer_capacity_uops == 56
+        assert cfg.apf.fetch_scheme == FetchScheme.TIME_SHARED
+        assert not cfg.apf.use_tage_confidence
+
+    def test_dpip_flag(self):
+        cfg = config_from_args(parse(["run", "--dpip", "--depth", "17"]))
+        assert cfg.apf.mode == AlternatePathMode.DPIP
+        assert cfg.apf.num_buffers == 0
+
+    def test_predictor_choice(self):
+        cfg = config_from_args(parse(["run", "--predictor", "perceptron"]))
+        assert cfg.predictor_kind == "perceptron"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "perlbench" in out and "tc" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "--apf"]) == 0
+        out = capsys.readouterr().out
+        assert "enabled=True" in out
+        assert "15 stages" in out
+
+    def test_run_small(self, capsys):
+        code = main(["run", "--workload", "xz",
+                     "--warmup", "1000", "--measure", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "branch MPKI" in out
+
+    def test_run_apf_prints_apf_metrics(self, capsys):
+        main(["run", "--workload", "leela", "--apf",
+              "--warmup", "2000", "--measure", "3000"])
+        out = capsys.readouterr().out
+        assert "APF restores" in out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--workloads", "xz,leela",
+                     "--warmup", "1000", "--measure", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GEOMEAN" in out
+
+    def test_compare_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--workloads", "bogus"])
+
+    def test_sweep_buffers(self, capsys):
+        code = main(["sweep", "--workload", "xz", "--parameter", "buffers",
+                     "--warmup", "1000", "--measure", "1500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buffers" in out
+
+    def test_characterize(self, capsys):
+        code = main(["characterize", "--workload", "tc",
+                     "--instructions", "5000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "taken density" in out
+        assert "branch mix" in out

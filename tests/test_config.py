@@ -1,0 +1,95 @@
+"""Tests for configuration dataclasses."""
+
+import pytest
+
+from repro.common.config import (
+    APFConfig,
+    AlternatePathMode,
+    CacheConfig,
+    CoreConfig,
+    FetchScheme,
+    FrontendConfig,
+    TageConfig,
+    describe,
+    paper_core_config,
+    small_core_config,
+)
+
+
+class TestFrontendConfig:
+    def test_default_depth_is_fifteen(self):
+        fe = FrontendConfig()
+        assert fe.depth == 15
+
+    def test_pre_rat_depth_is_thirteen(self):
+        """The APF pipeline covers BP through the pre-RAT dependency check."""
+        fe = FrontendConfig()
+        assert fe.pre_rat_depth == 13
+
+    def test_fetch_width_matches_32B(self):
+        fe = FrontendConfig()
+        assert fe.fetch_width_uops == 8
+
+
+class TestTageConfig:
+    def test_scaled_reduces_capacity(self):
+        cfg = TageConfig(table_log_size=10, bimodal_log_size=13)
+        mini = cfg.scaled(-2)
+        assert mini.table_log_size == 8
+        assert mini.bimodal_log_size == 11
+        assert mini.num_tables == cfg.num_tables
+
+    def test_scaled_floors(self):
+        cfg = TageConfig(table_log_size=5)
+        assert cfg.scaled(-8).table_log_size == 4
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig("c", size_bytes=64 * 1024, line_bytes=64,
+                          associativity=8)
+        assert cfg.num_sets == 128
+
+    def test_invalid_geometry_raises(self):
+        cfg = CacheConfig("c", size_bytes=32, line_bytes=64,
+                          associativity=8)
+        with pytest.raises(ValueError):
+            _ = cfg.num_sets
+
+
+class TestCoreConfig:
+    def test_apf_disabled_by_default(self):
+        assert not CoreConfig().apf.enabled
+
+    def test_with_apf_enables_and_overrides(self):
+        cfg = CoreConfig().with_apf(pipeline_depth=7, num_buffers=2)
+        assert cfg.apf.enabled
+        assert cfg.apf.pipeline_depth == 7
+        assert cfg.apf.num_buffers == 2
+        # original untouched (frozen dataclasses)
+        assert not CoreConfig().apf.enabled
+
+    def test_with_frontend_and_backend(self):
+        cfg = CoreConfig().with_frontend(width=16).with_backend(
+            rob_entries=1024)
+        assert cfg.frontend.width == 16
+        assert cfg.backend.rob_entries == 1024
+
+    def test_apf_buffer_capacity_matches_depth(self):
+        """104 uops = 8 wide x 13 stages (Section V-F)."""
+        apf = APFConfig()
+        fe = FrontendConfig()
+        assert apf.buffer_capacity_uops == fe.width * apf.pipeline_depth
+
+    def test_scales_share_pipeline_geometry(self):
+        small, paper = small_core_config(), paper_core_config()
+        assert small.frontend.depth == paper.frontend.depth
+        assert small.frontend.width == paper.frontend.width
+
+    def test_describe_mentions_apf(self):
+        rows = describe(CoreConfig().with_apf())
+        assert "enabled=True" in rows["APF"]
+
+    def test_scheme_and_mode_constants(self):
+        assert FetchScheme.BANKED != FetchScheme.TIME_SHARED
+        assert AlternatePathMode.APF != AlternatePathMode.DPIP

@@ -1,0 +1,142 @@
+"""Focused tests on tricky core paths: partial-bundle flushes, fetch-scheme
+accounting, banked-stat plumbing, and stall counters."""
+
+import dataclasses
+
+from repro.common.config import FetchScheme, small_core_config
+from repro.core.ooo_core import OoOCore
+from repro.workloads.profiles import build_workload, workload_trace
+
+
+def make_core(workload="leela", config=None, total=6_000):
+    config = config or small_core_config()
+    program = build_workload(workload)
+    trace = workload_trace(workload, total)
+    return OoOCore(config, program, trace, seed=7), total
+
+
+class TestFlushDetails:
+    def test_ftq_partial_bundle_truncated(self):
+        """After every recovery, nothing younger than the recovered branch
+        remains in the FTQ or the restore queue."""
+        core, total = make_core(config=small_core_config().with_apf())
+        original = core._flush_younger
+
+        def wrapped(seq):
+            original(seq)
+            for bundle, index in core.ftq:
+                for du in bundle.uops[index:]:
+                    assert du.seq <= seq
+            for _ready, du in core.restore_queue:
+                assert du.seq <= seq
+            for rec in core.inflight:
+                assert rec.seq <= seq
+        core._flush_younger = wrapped
+        core.run(total)
+        assert core.stats.get("recoveries") > 0
+
+    def test_squashed_uops_marked(self):
+        core, total = make_core()
+        squashed_seqs = set()
+        original = core._flush_younger
+
+        def wrapped(seq):
+            tail = [du for du in core.rob if du.seq > seq]
+            original(seq)
+            for du in tail:
+                assert du.squashed
+                squashed_seqs.add(du.seq)
+        core._flush_younger = wrapped
+        core.run(total)
+        assert squashed_seqs
+
+    def test_load_store_counts_never_negative(self):
+        core, total = make_core("mcf", total=4_000)
+        original = core._flush_younger
+
+        def wrapped(seq):
+            original(seq)
+            assert core.load_count >= 0
+            assert core.store_count >= 0
+        core._flush_younger = wrapped
+        core.run(total)
+
+
+class TestFetchSchemeAccounting:
+    def test_timeshare_records_alt_cycles(self):
+        cfg = small_core_config().with_apf(
+            fetch_scheme=FetchScheme.TIME_SHARED)
+        core, total = make_core("leela", cfg)
+        core.run(total)
+        assert core.stats.get("timeshare_alt_cycles") > 0
+
+    def test_banked_records_conflicts(self):
+        cfg = small_core_config().with_apf(fetch_scheme=FetchScheme.BANKED)
+        core, total = make_core("tc", cfg)
+        core.run(total)
+        assert core.stats.get("apf_bank_conflict_cycles") > 0
+
+    def test_dualport_records_no_conflicts(self):
+        cfg = small_core_config().with_apf(
+            fetch_scheme=FetchScheme.DUAL_PORT)
+        core, total = make_core("tc", cfg)
+        core.run(total)
+        assert core.stats.get("apf_bank_conflict_cycles") == 0
+
+    def test_banked_baseline_uses_banked_predictor(self):
+        from repro.branch.banking import BankedTage
+        cfg = dataclasses.replace(small_core_config(),
+                                  baseline_tage_banks=4)
+        core, _ = make_core("xz", cfg)
+        assert isinstance(core.branch_unit.predictor, BankedTage)
+        assert core.branch_unit.num_banks == 4
+
+    def test_apf_banked_uses_apf_bank_count(self):
+        cfg = small_core_config().with_apf(tage_banks=8)
+        core, _ = make_core("xz", cfg)
+        assert core.branch_unit.num_banks == 8
+
+    def test_unknown_predictor_kind_rejected(self):
+        import pytest
+        cfg = dataclasses.replace(small_core_config(),
+                                  predictor_kind="neural")
+        program = build_workload("xz")
+        trace = workload_trace("xz", 1_000)
+        with pytest.raises(ValueError, match="neural"):
+            OoOCore(cfg, program, trace)
+
+
+class TestStallCounters:
+    def test_stall_counters_populated(self):
+        core, total = make_core("mcf", total=5_000)
+        core.run(total)
+        stats = core.stats
+        # at least some backpressure shows up on a memory-bound workload
+        assert (stats.get("stall_rob_full") + stats.get("stall_ftq_full")
+                + stats.get("stall_scheduler_full")
+                + stats.get("stall_lq_full")) > 0
+
+    def test_misfetch_counter_counts_cold_btb(self):
+        core, total = make_core("xz", total=3_000)
+        core.run(total)
+        assert core.stats.get("btb_misfetches") > 0
+
+    def test_icache_stalls_on_large_footprint(self):
+        core, total = make_core("exchange2", total=5_000)
+        core.run(total)
+        assert core.stats.get("icache_miss_stall_cycles") > 0
+
+
+class TestWarmupWindowing:
+    def test_measured_window_excludes_warmup(self):
+        core, total = make_core("xz", total=6_000)
+        core.warmup_target = 0
+        core.run(6_000, warmup=2_000)
+        assert core.measured_instructions() == 4_000
+        assert 0 < core.measured_cycles() < core.now
+
+    def test_counters_windowed(self):
+        core, _ = make_core("leela", total=6_000)
+        core.run(6_000, warmup=3_000)
+        assert core.measured("cond_branches") \
+            < core.stats.get("cond_branches")

@@ -1,0 +1,121 @@
+"""Execution timing model and rename table tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.backend.exec_model import ExecModel
+from repro.common.config import BackendConfig
+from repro.frontend.rename import RenameTable
+from repro.isa.opcodes import NUM_ARCH_REGS, Op
+
+
+class TestExecModel:
+    def make(self, **overrides):
+        return ExecModel(BackendConfig(**overrides))
+
+    def test_fu_classes(self):
+        model = self.make()
+        assert model.fu_class(Op.ADD) == "alu"
+        assert model.fu_class(Op.MUL) == "mul"
+        assert model.fu_class(Op.DIV) == "div"
+        assert model.fu_class(Op.MOD) == "div"
+        assert model.fu_class(Op.LOAD) == "load"
+        assert model.fu_class(Op.BEQZ) == "branch"
+
+    def test_latencies(self):
+        model = self.make(alu_latency=1, mul_latency=3, div_latency=12)
+        assert model.latency("alu") == 1
+        assert model.latency("mul") == 3
+        assert model.latency("div") == 12
+
+    def test_port_contention_pushes_later(self):
+        model = self.make(div_units=1)
+        first = model.schedule("div", 10)
+        second = model.schedule("div", 10)
+        assert first == 10
+        assert second == 11
+
+    def test_issue_width_cap(self):
+        model = self.make(int_alu_units=16, issue_width=4)
+        cycles = [model.schedule("alu", 5) for _ in range(6)]
+        assert cycles.count(5) == 4
+        assert cycles.count(6) == 2
+
+    def test_independent_classes_share_width_only(self):
+        model = self.make(issue_width=2, int_alu_units=2, load_ports=2)
+        a = model.schedule("alu", 3)
+        b = model.schedule("load", 3)
+        c = model.schedule("alu", 3)
+        assert (a, b) == (3, 3)
+        assert c == 4
+
+    def test_trim_keeps_future_reservations(self):
+        model = self.make(div_units=1)
+        model.schedule("div", 10_000)
+        # force trim bookkeeping path
+        for cycle in range(5000):
+            model.schedule("alu", cycle)
+        model.trim(9_000)
+        assert model.schedule("div", 10_000) == 10_001
+
+
+class TestRenameTable:
+    def test_initial_identity_mapping(self):
+        rat = RenameTable()
+        for reg in range(NUM_ARCH_REGS):
+            assert rat.lookup(reg) == reg
+            assert rat.ready_cycle(rat.lookup(reg)) == 0
+
+    def test_allocate_gives_fresh_tags(self):
+        rat = RenameTable()
+        tag1 = rat.allocate(3)
+        tag2 = rat.allocate(3)
+        assert tag1 != tag2
+        assert rat.lookup(3) == tag2
+
+    def test_ready_cycles_follow_tags(self):
+        rat = RenameTable()
+        tag = rat.allocate(5)
+        rat.set_ready(tag, 42)
+        assert rat.ready_cycle(rat.lookup(5)) == 42
+
+    def test_checkpoint_restore_exact(self):
+        rat = RenameTable()
+        tag_a = rat.allocate(1)
+        rat.set_ready(tag_a, 10)
+        snap = rat.checkpoint()
+        tag_b = rat.allocate(1)
+        rat.set_ready(tag_b, 99)
+        rat.restore(snap)
+        assert rat.lookup(1) == tag_a
+        assert rat.ready_cycle(rat.lookup(1)) == 10
+
+    def test_old_values_survive_restore(self):
+        """Squashed-path tags never alias surviving mappings."""
+        rat = RenameTable()
+        snap = rat.checkpoint()
+        wrong_tag = rat.allocate(2)
+        rat.set_ready(wrong_tag, 1000)
+        rat.restore(snap)
+        assert rat.ready_cycle(rat.lookup(2)) == 0
+
+    @given(st.lists(st.tuples(st.integers(0, NUM_ARCH_REGS - 1),
+                              st.integers(0, 100)), max_size=40))
+    def test_checkpoints_always_roundtrip(self, ops):
+        rat = RenameTable()
+        snapshots = []
+        for reg, ready in ops:
+            snapshots.append((rat.checkpoint(),
+                              [rat.lookup(r) for r in range(NUM_ARCH_REGS)]))
+            tag = rat.allocate(reg)
+            rat.set_ready(tag, ready)
+        for snap, mapping in reversed(snapshots):
+            rat.restore(snap)
+            assert [rat.lookup(r) for r in range(NUM_ARCH_REGS)] == mapping
+
+    def test_compact_preserves_live_tags(self):
+        rat = RenameTable()
+        tag = rat.allocate(7)
+        rat.set_ready(tag, 55)
+        rat.compact(min_live_tag=tag + 100)
+        assert rat.ready_cycle(rat.lookup(7)) == 55

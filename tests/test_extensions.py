@@ -1,0 +1,103 @@
+"""Tests for the optional extensions: alternate-path I-prefetching
+(Section III-A future work) and the energy summary (Section V-I)."""
+
+from repro.analysis.area import OverheadModel
+from repro.common.config import small_core_config
+from repro.core.simulator import run_benchmark
+
+
+
+class TestAlternatePathPrefetch:
+    """Drive the APF engine against a branch whose alternate path sits in
+    a cold I-cache region, so the path terminates on the I-cache miss."""
+
+    def run_engine(self, prefetch):
+        from repro.branch.btb import BTB
+        from repro.branch.h2p import H2PTable
+        from repro.branch.history import SpeculativeHistory
+        from repro.branch.indirect import IndirectPredictor
+        from repro.branch.ras import ReturnAddressStack
+        from repro.branch.tage import TageSCL
+        from repro.common.config import (
+            APFConfig, BTBConfig, FrontendConfig, H2PTableConfig)
+        from repro.common.statistics import StatGroup
+        from repro.core.apf import APFEngine
+        from repro.core.fetch_engine import BranchUnit
+        from repro.core.uops import InflightBranch
+        from repro.isa.opcodes import BranchKind, Op
+        from repro.memory.cache import CacheHierarchy
+        from repro.workloads.program import ProgramBuilder
+
+        b = ProgramBuilder()
+        b.label("entry")
+        # a branch whose taken target is far away in never-fetched code
+        b.branch(Op.BEQZ, "far", src1=1)
+        b.nop_pad(100)
+        b.align(1 << 14)
+        b.label("far")
+        b.nop_pad(100)
+        b.halt()
+        program = b.finalize(entry_label="entry")
+
+        config = small_core_config()
+        apf_cfg = APFConfig(enabled=True,
+                            prefetch_alternate_icache=prefetch)
+        bu = BranchUnit(TageSCL(config.tage, seed=3), BTB(BTBConfig()),
+                        IndirectPredictor(), H2PTable(H2PTableConfig()))
+        hierarchy = CacheHierarchy(config.memory)
+        hierarchy.ifetch(program.code_base)  # warm only the entry line
+        stats = StatGroup("apf")
+        engine = APFEngine(apf_cfg, bu, program, hierarchy,
+                           FrontendConfig(), stats)
+        branch_uop = program.uop_at(program.code_base)
+        rec = InflightBranch(1, branch_uop, BranchKind.CONDITIONAL, True, 0)
+        rec.predicted_taken = False      # alternate path = the cold target
+        rec.h2p_marked = True
+        rec.hist_checkpoint = (0, 0)
+        rec.ras_checkpoint = ()
+        hist, ras = SpeculativeHistory(128), ReturnAddressStack(32)
+        for cycle in range(4):
+            engine.cycle(cycle, [rec], hist, ras, can_fetch=True,
+                         blocked_tage_banks=set(),
+                         blocked_icache_banks=set())
+        return engine, hierarchy
+
+    def test_prefetches_issued_when_enabled(self):
+        engine, hierarchy = self.run_engine(prefetch=True)
+        assert engine.stats.get("apf_icache_terminations") == 1
+        assert engine.stats.get("apf_icache_prefetches") == 1
+        # the line is now resident: the prefetch was actually performed
+        far_pc = engine.program.code_base + (1 << 14)
+        assert hierarchy.icache.probe(far_pc)
+
+    def test_no_prefetches_by_default(self):
+        engine, hierarchy = self.run_engine(prefetch=False)
+        assert engine.stats.get("apf_icache_terminations") == 1
+        assert engine.stats.get("apf_icache_prefetches") == 0
+        far_pc = engine.program.code_base + (1 << 14)
+        assert not hierarchy.icache.probe(far_pc)
+
+
+class TestEnergySummary:
+    def test_summary_fields_consistent(self):
+        base = run_benchmark("leela", warmup=4_000, measure=6_000)
+        apf_cfg = small_core_config().with_apf()
+        apf = run_benchmark("leela", config=apf_cfg,
+                            warmup=4_000, measure=6_000)
+        model = OverheadModel(apf_cfg)
+        summary = model.energy_summary(apf, base)
+        assert 0.0 <= summary["apf_activity"] <= 1.0
+        assert summary["dynamic_overhead"] \
+            <= OverheadModel.APF_DYNAMIC_POWER
+        assert summary["net_energy_delta"] == (
+            summary["dynamic_overhead"] - summary["static_saving"])
+
+    def test_activity_reflects_busy_pipeline(self):
+        base = run_benchmark("leela", warmup=4_000, measure=6_000)
+        apf_cfg = small_core_config().with_apf()
+        apf = run_benchmark("leela", config=apf_cfg,
+                            warmup=4_000, measure=6_000)
+        summary = OverheadModel(apf_cfg).energy_summary(apf, base)
+        # leela has abundant H2P branches: the APF pipeline is busy a
+        # large fraction of the time (the paper reports ~65% on average)
+        assert summary["apf_activity"] > 0.3

@@ -1,0 +1,192 @@
+"""Main fetch engine tests: bundle formation, wrong-path transitions,
+misfetch stalls, and checkpoints."""
+
+from repro.branch.btb import BTB
+from repro.branch.h2p import H2PTable
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.tage import TageSCL
+from repro.common.config import (
+    BTBConfig,
+    H2PTableConfig,
+    small_core_config,
+)
+from repro.core.fetch_engine import BranchUnit, MainFetchEngine
+from repro.common.statistics import StatGroup
+from repro.isa.opcodes import Op
+from repro.memory.cache import CacheHierarchy
+from repro.workloads.emulator import Emulator
+from repro.workloads.program import ProgramBuilder
+
+
+def build_engine(build_fn, trace_len=2000):
+    builder = ProgramBuilder()
+    build_fn(builder)
+    program = builder.finalize(entry_label="entry")
+    trace = Emulator(program).run(trace_len)
+    config = small_core_config()
+    bu = BranchUnit(TageSCL(config.tage, seed=7), BTB(BTBConfig()),
+                    IndirectPredictor(), H2PTable(H2PTableConfig()))
+    stats = StatGroup("test")
+    hierarchy = CacheHierarchy(config.memory)
+    engine = MainFetchEngine(program, trace, bu, hierarchy, config, stats)
+    return engine, trace, program
+
+
+def straight_line(b):
+    b.label("entry")
+    loop = b.label("loop")
+    for _ in range(20):
+        b.alu(Op.ADD, 1, 1, 1)
+    b.jump(loop)
+
+
+def tight_loop(b):
+    b.label("entry")
+    b.movi(1, 1_000_000)
+    loop = b.label("loop")
+    b.emit(Op.ADDI, dest=1, src1=1, imm=-1)
+    b.branch(Op.BNEZ, loop, src1=1)
+    b.halt()
+
+
+class TestBundleFormation:
+    def test_width_limits_bundle(self):
+        engine, _, _ = build_engine(straight_line)
+        bundle = engine.step(0)
+        assert bundle is not None
+        assert len(bundle.uops) == engine.fe.width
+
+    def test_taken_branch_ends_bundle(self):
+        engine, _, _ = build_engine(tight_loop)
+        # warm the BTB first: first taken branch misfetches
+        for cycle in range(200):
+            bundle = engine.step(cycle)
+            if bundle is None:
+                continue
+            if any(u.static.is_branch for u in bundle.uops):
+                break
+        engine2, _, _ = build_engine(tight_loop)
+        saw_branch_end = False
+        for cycle in range(300):
+            bundle = engine2.step(cycle)
+            if bundle is None:
+                continue
+            for i, du in enumerate(bundle.uops):
+                if du.static.is_branch and du.branch.predicted_taken:
+                    assert i == len(bundle.uops) - 1
+                    saw_branch_end = True
+        assert saw_branch_end
+
+    def test_seq_numbers_monotonic(self):
+        engine, _, _ = build_engine(straight_line)
+        seqs = []
+        for cycle in range(50):
+            bundle = engine.step(cycle)
+            if bundle:
+                seqs.extend(u.seq for u in bundle.uops)
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_stall_returns_none(self):
+        engine, _, _ = build_engine(straight_line)
+        engine.stall_until = 10
+        assert engine.step(5) is None
+        assert engine.step(10) is not None
+
+    def test_bundle_ready_after_frontend_depth(self):
+        engine, _, _ = build_engine(straight_line)
+        bundle = engine.step(3)
+        assert bundle.ready_cycle >= 3 + engine.fe.depth
+
+
+class TestBranchRecords:
+    def test_records_created_with_checkpoints(self):
+        engine, _, _ = build_engine(tight_loop)
+        recs = []
+        for cycle in range(100):
+            bundle = engine.step(cycle)
+            if bundle:
+                recs.extend(engine.new_branches)
+            if recs:
+                break
+        assert recs
+        rec = recs[0]
+        assert rec.on_trace
+        assert rec.recovery_cursor > 0
+        assert rec.hist_checkpoint is not None
+
+    def test_mispredict_switches_to_wrong_path(self):
+        """A cold predictor eventually mispredicts the loop exit; fetch must
+        continue down the wrong (predicted) path."""
+        def short_loop(b):
+            b.label("entry")
+            outer = b.label("outer")
+            b.movi(1, 3)
+            loop = b.label("loop")
+            b.emit(Op.ADDI, dest=1, src1=1, imm=-1)
+            b.branch(Op.BNEZ, loop, src1=1)
+            b.alu(Op.ADD, 2, 2, 2)
+            b.jump(outer)
+        engine, trace, _ = build_engine(short_loop)
+        mispredicted = False
+        for cycle in range(600):
+            bundle = engine.step(cycle)
+            if bundle is None:
+                if engine.dead:
+                    break
+                continue
+            for rec in engine.new_branches:
+                if rec.mispredict:
+                    mispredicted = True
+            if mispredicted:
+                break
+        assert mispredicted
+        assert engine.wrong_path
+
+    def test_redirect_restores_trace_mode(self):
+        engine, trace, _ = build_engine(tight_loop)
+        engine.redirect_wrong_path(0xDEAD0000, 5)
+        assert engine.dead     # off image
+        engine.redirect_on_trace(10, 6)
+        assert not engine.wrong_path
+        assert not engine.dead
+        assert engine.cursor == 10
+
+
+class TestMisfetch:
+    def test_btb_miss_on_taken_branch_stalls(self):
+        engine, _, _ = build_engine(tight_loop)
+        stall_before = engine.stall_until
+        for cycle in range(100):
+            bundle = engine.step(cycle)
+            if bundle and any(u.static.is_branch for u in bundle.uops):
+                break
+        assert engine.stats.get("btb_misfetches") >= 1
+        assert engine.stall_until > stall_before
+
+    def test_btb_trained_after_misfetch(self):
+        engine, _, _ = build_engine(tight_loop)
+        for cycle in range(2000):
+            if engine.dead:
+                break
+            engine.step(cycle)
+        # the loop branch misfetches once, then hits
+        assert engine.stats.get("btb_misfetches") <= 2
+
+
+class TestWrongPathMemory:
+    def test_wrong_path_loads_get_synthetic_addresses(self):
+        from repro.core.fetch_engine import synthetic_address
+
+        def with_load(b):
+            base = b.alloc_array("a", 8)
+            b.label("entry")
+            b.movi(1, base)
+            loop = b.label("loop")
+            b.load(2, 1)
+            b.jump(loop)
+        _, _, program = build_engine(with_load, trace_len=100)
+        addr = synthetic_address(program, 0x400000, 17)
+        assert program.data_base <= addr < program.data_end
+        assert addr % 8 == 0
+        assert addr == synthetic_address(program, 0x400000, 17)

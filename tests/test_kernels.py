@@ -1,0 +1,235 @@
+"""Graph kernel validation: the uop-ISA kernels must compute the same
+answers as reference implementations (networkx)."""
+
+import networkx as nx
+import pytest
+
+from repro.isa.opcodes import Op
+from repro.workloads.emulator import Emulator
+from repro.workloads.graphs import (
+    CSRGraph,
+    bfs_reachable,
+    power_law_graph,
+    uniform_graph,
+)
+from repro.workloads.kernels import (
+    build_bc,
+    build_bfs,
+    build_cc,
+    build_pagerank,
+    build_sssp,
+    build_tc,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_graph(64, 6, seed=5)
+
+
+def to_networkx(graph: CSRGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_nodes))
+    for u in range(graph.num_nodes):
+        start, end = graph.row_ptr[u], graph.row_ptr[u + 1]
+        for idx in range(start, end):
+            g.add_edge(u, graph.col[idx], weight=graph.weight[idx])
+    return g
+
+
+def read_array(emu, program, name, count):
+    base = program.arrays[name]
+    return [emu.read_word(base + 8 * i) for i in range(count)]
+
+
+class TestGraphGeneration:
+    def test_csr_row_ptr_monotone(self, graph):
+        assert graph.row_ptr[0] == 0
+        assert all(b >= a for a, b in zip(graph.row_ptr, graph.row_ptr[1:]))
+        assert graph.row_ptr[-1] == graph.num_edges
+
+    def test_neighbors_sorted_unique(self, graph):
+        for node in range(graph.num_nodes):
+            neigh = graph.neighbors(node)
+            assert neigh == sorted(set(neigh))
+            assert node not in neigh
+
+    def test_undirected_symmetry(self, graph):
+        for u in range(graph.num_nodes):
+            for v in graph.neighbors(u):
+                assert u in graph.neighbors(v)
+
+    def test_power_law_has_skewed_degrees(self):
+        g = power_law_graph(512, 8, seed=3)
+        degrees = sorted(g.degree(i) for i in range(g.num_nodes))
+        assert degrees[-1] > 4 * max(1, degrees[len(degrees) // 2])
+
+    def test_determinism(self):
+        a = uniform_graph(128, 6, seed=9)
+        b = uniform_graph(128, 6, seed=9)
+        assert a.col == b.col and a.row_ptr == b.row_ptr
+
+    def test_weights_positive(self, graph):
+        assert all(w >= 1 for w in graph.weight)
+
+
+class TestBfsKernel:
+    def test_visited_set_matches_reference(self, graph):
+        """After one complete traversal from source 0, the frontier queue
+        holds exactly the reference reachable set."""
+        program = build_bfs(graph)
+        emu = Emulator(program)
+        # sample the queue right before the source register (r16) advances
+        snapshot = None
+        while emu.regs[16] == 0 and emu.instructions_executed < 1_000_000:
+            emu.run(emu.instructions_executed + 50)
+            if emu.regs[16] == 0:
+                snapshot = read_array(emu, program, "queue",
+                                      graph.num_nodes)
+        assert snapshot is not None
+        reachable, dist = bfs_reachable(graph, source=0)
+        first_traversal = snapshot[:reachable]
+        assert set(first_traversal) == {n for n, d in enumerate(dist)
+                                        if d >= 0}
+
+    def test_bfs_branches_are_data_dependent(self, graph):
+        program = build_bfs(graph)
+        trace = Emulator(program).run(60_000)
+        visited_tests = [t for u, t in zip(trace.uops, trace.taken)
+                         if u.label == "visited_test"]
+        assert visited_tests
+        taken_rate = sum(visited_tests) / len(visited_tests)
+        assert 0.05 < taken_rate < 0.98
+
+
+class TestTcKernel:
+    def test_triangle_count_matches_networkx(self):
+        graph = uniform_graph(48, 6, seed=11)
+        expected = sum(nx.triangles(to_networkx(graph)).values()) // 3
+        program = build_tc(graph)
+        emu = Emulator(program)
+        r_count, r_u = 16, 6
+        # run until the node register wraps back to 0 after having advanced
+        # (= the first full pass completed); the counter then holds exactly
+        # pass 1's total
+        seen_progress = False
+        while emu.instructions_executed < 10_000_000:
+            emu.run(emu.instructions_executed + 50)
+            if emu.regs[r_u] > 0:
+                seen_progress = True
+            elif seen_progress:
+                break
+        # each triangle is counted once per participating (u,v) edge with
+        # v > u, i.e. exactly three times per full pass
+        assert emu.regs[r_count] == 3 * expected
+
+
+class TestSsspKernel:
+    def test_distances_upper_bound_dijkstra(self):
+        """Bellman-Ford distances are always valid upper bounds, and the
+        source itself is exact."""
+        graph = uniform_graph(48, 6, seed=13)
+        program = build_sssp(graph, num_rounds=4)
+        emu = Emulator(program)
+        snapshot = None
+        while emu.regs[18] == 0 and emu.instructions_executed < 3_000_000:
+            emu.run(emu.instructions_executed + 200)
+            if emu.regs[18] == 0:
+                snapshot = read_array(emu, program, "dist",
+                                      graph.num_nodes)
+        assert snapshot is not None
+        nxg = to_networkx(graph)
+        expected = nx.single_source_dijkstra_path_length(
+            nxg, 0, weight="weight")
+        assert snapshot[0] == 0
+        for node, exact in expected.items():
+            assert snapshot[node] >= exact
+
+    def test_first_pass_from_source0_exact(self):
+        graph = uniform_graph(32, 5, seed=29)
+        program = build_sssp(graph, num_rounds=31)
+        emu = Emulator(program)
+        dist_base = program.arrays["dist"]
+        nxg = to_networkx(graph)
+        expected = nx.single_source_dijkstra_path_length(
+            nxg, 0, weight="weight")
+        # capture dist[] right before the source register advances (end of
+        # the first Bellman-Ford pass from source 0)
+        last_good = None
+        for _ in range(30_000):
+            emu.run(emu.instructions_executed + 100)
+            if emu.regs[18] != 0:
+                break
+            last_good = [emu.read_word(dist_base + 8 * i)
+                         for i in range(graph.num_nodes)]
+        assert last_good is not None
+        # Bellman-Ford with 6 full sweeps converges on this graph diameter
+        for node, exp in expected.items():
+            assert last_good[node] == exp
+
+
+class TestCcKernel:
+    def test_labels_form_components(self):
+        graph = uniform_graph(48, 6, seed=17)
+        program = build_cc(graph)
+        emu = Emulator(program)
+        emu.run(800_000)
+        labels = read_array(emu, program, "labels", graph.num_nodes)
+        nxg = to_networkx(graph)
+        for comp in nx.connected_components(nxg):
+            comp_labels = {labels[n] for n in comp}
+            assert len(comp_labels) == 1
+
+
+class TestPrAndBcSmoke:
+    def test_pagerank_runs_and_writes_ranks(self):
+        graph = uniform_graph(32, 4, seed=19)
+        program = build_pagerank(graph)
+        emu = Emulator(program)
+        emu.run(300_000)
+        ranks = read_array(emu, program, "rank", graph.num_nodes)
+        assert all(r > 0 for r in ranks)
+
+    def test_bc_uses_calls_and_counts_paths(self):
+        graph = uniform_graph(32, 4, seed=23)
+        program = build_bc(graph)
+        emu = Emulator(program)
+        trace = emu.run(200_000)
+        assert any(u.op is Op.CALL for u in trace.uops)
+        assert any(u.op is Op.RET for u in trace.uops)
+        sigmas = read_array(emu, program, "sigma", graph.num_nodes)
+        assert any(s > 0 for s in sigmas)
+
+    def test_bc_sigma_counts_shortest_paths_first_pass(self):
+        graph = uniform_graph(24, 4, seed=31)
+        program = build_bc(graph)
+        emu = Emulator(program)
+        # stop right after the first forward BFS: watch for the accumulate
+        # call; sigma[] then holds shortest-path counts from source 0
+        sigma_base = program.arrays["sigma"]
+        nxg = to_networkx(graph)
+        # reference sigma (number of shortest paths) via BFS layering
+        import collections
+        dist = {0: 0}
+        sigma = collections.defaultdict(int)
+        sigma[0] = 1
+        queue = collections.deque([0])
+        while queue:
+            u = queue.popleft()
+            for v in nxg.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+                if dist[v] == dist[u] + 1:
+                    sigma[v] += sigma[u]
+        # snapshot sigma[] while still in the first outer pass (src == 0);
+        # the last snapshot before src changes is pass 1's final state
+        got = None
+        while emu.regs[20] == 0 and emu.instructions_executed < 500_000:
+            emu.run(emu.instructions_executed + 50)
+            if emu.regs[20] == 0:
+                got = [emu.read_word(sigma_base + 8 * i)
+                       for i in range(graph.num_nodes)]
+        assert got is not None
+        reached = [n for n in dist if n != 0]
+        assert all(got[n] == sigma[n] for n in reached)

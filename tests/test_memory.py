@@ -1,0 +1,135 @@
+"""Cache, hierarchy, DRAM, and TLB tests."""
+
+from repro.common.config import (
+    CacheConfig,
+    DramConfig,
+    MemoryConfig,
+    TLBConfig,
+)
+from repro.memory.cache import Cache, CacheHierarchy
+from repro.memory.dram import Dram
+from repro.memory.tlb import TLB
+
+
+def small_cache(**overrides):
+    defaults = dict(size_bytes=1024, line_bytes=64, associativity=2,
+                    hit_latency=3)
+    defaults.update(overrides)
+    return Cache(CacheConfig("test", **defaults), miss_latency=50)
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0x100) == 3 + 50
+        assert cache.access(0x100) == 3
+        assert cache.stats.get("misses") == 1
+        assert cache.stats.get("hits") == 1
+
+    def test_same_line_hits(self):
+        cache = small_cache()
+        cache.access(0x100)
+        assert cache.access(0x13F) == 3   # same 64B line
+
+    def test_lru_eviction(self):
+        cache = small_cache()  # 8 sets, 2 ways
+        set_stride = 8 * 64
+        a, b, c = 0x0, set_stride, 2 * set_stride  # same set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)        # a is MRU
+        cache.access(c)        # evicts b
+        assert cache.access(a) == 3
+        assert cache.access(c) == 3
+        assert cache.access(b) > 3
+
+    def test_probe_does_not_allocate(self):
+        cache = small_cache()
+        assert not cache.probe(0x200)
+        assert not cache.probe(0x200)
+        cache.access(0x200)
+        assert cache.probe(0x200)
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.access(0x40)
+        cache.flush()
+        assert not cache.probe(0x40)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == 0.5
+
+    def test_miss_goes_to_next_level(self):
+        l2 = small_cache(size_bytes=4096)
+        l1 = Cache(CacheConfig("l1", 512, associativity=2, hit_latency=2),
+                   next_level=l2)
+        latency = l1.access(0x1000)
+        assert latency == 2 + 3 + 50
+        assert l2.stats.get("accesses") == 1
+        # now L1 hit: L2 untouched
+        l1.access(0x1000)
+        assert l2.stats.get("accesses") == 1
+
+
+class TestHierarchy:
+    def test_ifetch_prefetches_next_line(self):
+        hierarchy = CacheHierarchy(MemoryConfig())
+        hierarchy.ifetch(0x400000)
+        assert hierarchy.icache.probe(0x400040)
+
+    def test_dram_charged_only_on_llc_miss(self):
+        hierarchy = CacheHierarchy(MemoryConfig())
+        first = hierarchy.dload(0x10_0000, cycle=0)
+        second = hierarchy.dload(0x10_0000, cycle=10)
+        assert first > second
+        assert hierarchy.dram.stats.get("accesses") == 1
+
+    def test_store_counts_as_write(self):
+        hierarchy = CacheHierarchy(MemoryConfig())
+        hierarchy.dstore(0x40, cycle=0)
+        assert hierarchy.dcache.stats.get("writes") == 1
+
+
+class TestDram:
+    def test_row_hit_cheaper_than_conflict(self):
+        dram = Dram(DramConfig())
+        cfg = DramConfig()
+        first = dram.access(0x0, cycle=1000)       # row miss (bank empty)
+        hit = dram.access(0x40, cycle=3000)        # same row: row hit
+        conflict = dram.access(cfg.row_bytes * cfg.num_banks,
+                               cycle=6000)         # same bank, new row
+        assert first == cfg.channel_latency + cfg.t_row_miss
+        assert hit == cfg.channel_latency + cfg.t_row_hit
+        assert conflict == cfg.channel_latency + cfg.t_row_conflict
+
+    def test_busy_bank_queues(self):
+        dram = Dram(DramConfig())
+        dram.access(0x0, cycle=0)
+        latency = dram.access(0x40, cycle=0)   # same cycle, same bank
+        cfg = DramConfig()
+        assert latency > cfg.channel_latency + cfg.t_row_hit
+
+    def test_stats_classify_accesses(self):
+        dram = Dram(DramConfig())
+        dram.access(0x0, 0)
+        dram.access(0x40, 500)
+        assert dram.stats.get("row_misses") == 1
+        assert dram.stats.get("row_hits") == 1
+
+
+class TestTLB:
+    def test_hit_after_fill(self):
+        tlb = TLB(TLBConfig(entries=4, miss_latency=20))
+        assert tlb.access(0x1000) == 20
+        assert tlb.access(0x1FFF) == 0    # same page
+
+    def test_capacity_eviction_lru(self):
+        tlb = TLB(TLBConfig(entries=2, miss_latency=20))
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x1000)      # refresh page 1
+        tlb.access(0x3000)      # evicts page 2
+        assert tlb.access(0x2000) == 20

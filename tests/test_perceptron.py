@@ -1,0 +1,95 @@
+"""Hashed Perceptron predictor tests."""
+
+from repro.branch.history import SpeculativeHistory
+from repro.branch.perceptron import HashedPerceptron, PerceptronConfig
+from repro.branch.tage import CONF_LOW
+from repro.common.rng import DeterministicRng
+
+
+def train(predictor, stream):
+    hist = SpeculativeHistory(128)
+    correct = total = 0
+    warmup = len(stream) // 3
+    for index, (pc, taken) in enumerate(stream):
+        pred = predictor.predict(pc, hist.ghr, hist.path)
+        if index >= warmup:
+            total += 1
+            correct += pred.taken == taken
+        predictor.update(pc, hist.ghr, taken, hist.path)
+        hist.push(taken, pc)
+    return correct / total
+
+
+class TestLearning:
+    def test_biased_branch(self):
+        predictor = HashedPerceptron()
+        assert train(predictor, [(0x100, True)] * 1000) > 0.98
+
+    def test_alternating_pattern(self):
+        predictor = HashedPerceptron()
+        stream = [(0x200, bool(i & 1)) for i in range(2000)]
+        assert train(predictor, stream) > 0.95
+
+    def test_history_correlation(self):
+        rng = DeterministicRng(3)
+        stream = []
+        for _ in range(1200):
+            outcome = rng.chance(0.5)
+            stream.append((0x300, outcome))
+            stream.append((0x304, outcome))   # perfectly correlated
+        predictor = HashedPerceptron()
+        assert train(predictor, stream) > 0.7   # >= 50% random + corr. half
+
+    def test_random_is_hard(self):
+        rng = DeterministicRng(7)
+        stream = [(0x400, rng.chance(0.5)) for _ in range(1500)]
+        predictor = HashedPerceptron()
+        assert train(predictor, stream) < 0.7
+
+    def test_low_confidence_on_noise(self):
+        rng = DeterministicRng(11)
+        predictor = HashedPerceptron()
+        hist = SpeculativeHistory(128)
+        low = 0
+        for _ in range(600):
+            taken = rng.chance(0.5)
+            pred = predictor.predict(0x500, hist.ghr, hist.path)
+            low += pred.confidence == CONF_LOW
+            predictor.update(0x500, hist.ghr, taken, hist.path)
+            hist.push(taken, 0x500)
+        assert low > 60
+
+
+class TestMechanics:
+    def test_weights_saturate(self):
+        cfg = PerceptronConfig(weight_bits=6)
+        predictor = HashedPerceptron(cfg)
+        hist = SpeculativeHistory(128)
+        for _ in range(5000):
+            predictor.update(0x100, hist.ghr, True, hist.path)
+        limit = (1 << (cfg.weight_bits - 1)) - 1
+        assert all(w <= limit for table in predictor._tables for w in table)
+
+    def test_adaptive_theta_moves(self):
+        cfg = PerceptronConfig(adaptive_theta=True, theta=20)
+        predictor = HashedPerceptron(cfg)
+        rng = DeterministicRng(13)
+        hist = SpeculativeHistory(128)
+        for _ in range(4000):
+            taken = rng.chance(0.5)
+            predictor.update(0x600, hist.ghr, taken, hist.path)
+            hist.push(taken, 0x600)
+        assert predictor._theta != 20
+
+    def test_storage_bits(self):
+        cfg = PerceptronConfig(num_tables=4, table_log_size=8,
+                               weight_bits=6)
+        assert HashedPerceptron(cfg).storage_bits() == 4 * 256 * 6
+
+    def test_segments_cover_history(self):
+        cfg = PerceptronConfig(num_tables=8, max_history=128)
+        predictor = HashedPerceptron(cfg)
+        assert len(predictor._segments) == 8
+        assert predictor._segments[0][0] == 0
+        assert all(end > start for start, end in predictor._segments)
+        assert max(end for _s, end in predictor._segments) <= 128

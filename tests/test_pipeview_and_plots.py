@@ -1,0 +1,115 @@
+"""Tests for the pipeline tracer and the ASCII plot helpers."""
+
+import pytest
+
+from repro.analysis.pipeview import PipeTracer
+from repro.analysis.plots import bar_chart, grouped_bar_chart, sparkline
+from repro.common.config import small_core_config
+from repro.core.ooo_core import OoOCore
+from repro.workloads.profiles import build_workload, workload_trace
+
+
+def traced_core(workload="leela", total=4_000, apf=False):
+    config = small_core_config()
+    if apf:
+        config = config.with_apf()
+    program = build_workload(workload)
+    trace = workload_trace(workload, total)
+    core = OoOCore(config, program, trace, seed=5)
+    tracer = PipeTracer(core)
+    core.run(total)
+    return core, tracer
+
+
+class TestPipeTracer:
+    def test_records_all_lifecycle_stages(self):
+        core, tracer = traced_core()
+        assert tracer.timelines
+        retired = [t for t in tracer.timelines.values()
+                   if t.retire_cycle is not None]
+        assert retired
+        sample = retired[len(retired) // 2]
+        assert sample.fetch_cycle <= sample.allocate_cycle
+        assert sample.allocate_cycle <= sample.retire_cycle
+
+    def test_squashes_recorded_on_recovery(self):
+        core, tracer = traced_core("leela")
+        assert tracer.recoveries
+        squashed = [t for t in tracer.timelines.values()
+                    if t.squash_cycle is not None]
+        assert squashed
+        # a squashed uop never retires
+        assert all(t.retire_cycle is None for t in squashed)
+
+    def test_restored_uops_marked(self):
+        core, tracer = traced_core("leela", apf=True)
+        assert tracer.restores
+        assert tracer.restored_uop_count() > 0
+
+    def test_render_produces_rows(self):
+        core, tracer = traced_core()
+        at = tracer.recoveries[0]
+        text = tracer.render(at - 4, at + 12)
+        lines = text.splitlines()
+        assert len(lines) > 3
+        assert "recoveries" in lines[0]
+        # every row lane has the same width
+        widths = {len(line.split("|")[1]) for line in lines[1:]
+                  if "|" in line}
+        assert len(widths) == 1
+
+    def test_render_rejects_empty_window(self):
+        core, tracer = traced_core()
+        with pytest.raises(ValueError):
+            tracer.render(10, 10)
+
+    def test_frontend_latency_histogram(self):
+        core, tracer = traced_core(apf=True)
+        hist = tracer.frontend_latency_histogram()
+        assert hist
+        depth = core.config.frontend.depth
+        # the dominant frontend latency is the pipe depth; restored uops
+        # appear at small latencies
+        assert any(delta >= depth for delta in hist)
+        assert min(hist) < depth
+
+    def test_tracing_does_not_change_timing(self):
+        plain_config = small_core_config()
+        program = build_workload("xz")
+        trace = workload_trace("xz", 3_000)
+        core_plain = OoOCore(plain_config, program, trace, seed=5)
+        core_plain.run(3_000)
+        core_traced = OoOCore(plain_config, program, trace, seed=5)
+        PipeTracer(core_traced)
+        core_traced.run(3_000)
+        assert core_plain.now == core_traced.now
+
+
+class TestPlots:
+    def test_bar_chart_basic(self):
+        text = bar_chart({"a": 1.05, "b": 1.10}, title="T", baseline=1.0)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        # larger value gets the longer bar
+        assert lines[2].count("█") > lines[1].count("█")
+
+    def test_bar_chart_negative_marked(self):
+        text = bar_chart({"up": 1.04, "down": 0.96}, baseline=1.0)
+        assert "<" in text
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}, title="empty") == "empty"
+
+    def test_grouped_chart_covers_all_categories(self):
+        text = grouped_bar_chart(
+            {"apf": {"x": 1.05, "y": 1.02}, "dpip": {"x": 0.99}})
+        assert "x:" in text and "y:" in text
+        assert "apf" in text and "dpip" in text
+
+    def test_sparkline(self):
+        line = sparkline([1, 2, 3, 2, 1])
+        assert len(line) == 5
+        assert line[2] == "█"
+        assert sparkline([]) == ""
+        assert len(set(sparkline([5, 5, 5]))) == 1

@@ -1,0 +1,185 @@
+"""Hypothesis property tests over the core data structures and the
+program/emulator layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch.banking import icache_bank_bits, tage_bank_bits
+from repro.branch.h2p import H2PTable
+from repro.branch.history import SpeculativeHistory
+from repro.branch.ras import ReturnAddressStack, ShadowRAS
+from repro.common.config import H2PTableConfig
+from repro.isa.opcodes import Op
+from repro.memory.cache import Cache
+from repro.common.config import CacheConfig
+from repro.workloads.emulator import Emulator
+from repro.workloads.program import ProgramBuilder
+
+
+# --------------------------------------------------------------------------
+# history
+# --------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(0, 2**20)), max_size=64))
+def test_history_checkpoint_restore_any_sequence(events):
+    """Restoring any checkpoint rewinds the register exactly."""
+    hist = SpeculativeHistory(64)
+    snapshots = []
+    for taken, pc in events:
+        snapshots.append(hist.checkpoint())
+        hist.push(taken, pc)
+    for snap in reversed(snapshots):
+        hist.restore(snap)
+        assert hist.checkpoint() == snap
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+def test_history_ghr_encodes_recent_outcomes(outcomes):
+    hist = SpeculativeHistory(256)
+    for taken in outcomes:
+        hist.push(taken)
+    for offset, taken in enumerate(reversed(outcomes[-256:])):
+        assert ((hist.ghr >> offset) & 1) == (1 if taken else 0)
+
+
+# --------------------------------------------------------------------------
+# RAS
+# --------------------------------------------------------------------------
+
+@given(st.lists(st.one_of(st.integers(1, 2**30),   # push value
+                          st.none()),              # pop
+                max_size=60))
+def test_ras_matches_reference_stack(ops):
+    ras = ReturnAddressStack(entries=16)
+    reference = []
+    for op in ops:
+        if op is None:
+            expected = reference.pop() if reference else None
+            assert ras.pop() == expected
+        else:
+            ras.push(op)
+            reference.append(op)
+            if len(reference) > 16:
+                reference.pop(0)
+
+
+@given(st.lists(st.integers(1, 100), max_size=8),
+       st.lists(st.one_of(st.integers(1, 100), st.none()), max_size=12))
+def test_shadow_ras_never_disturbs_main(main_pushes, shadow_ops):
+    main = ReturnAddressStack(16)
+    for value in main_pushes:
+        main.push(value)
+    before = main.checkpoint()
+    shadow = ShadowRAS(main, entries=4)
+    for op in shadow_ops:
+        if op is None:
+            shadow.pop()
+        else:
+            shadow.push(op)
+    assert main.checkpoint() == before
+
+
+# --------------------------------------------------------------------------
+# bank hashes
+# --------------------------------------------------------------------------
+
+@given(st.integers(0, 2**40))
+def test_icache_bank_in_range_and_stable(address):
+    bank = icache_bank_bits(address)
+    assert 0 <= bank < 4
+    assert bank == icache_bank_bits(address)
+
+
+@given(st.integers(0, 2**40))
+def test_adjacent_half_lines_never_same_bank(address):
+    aligned = address & ~31
+    assert icache_bank_bits(aligned) != icache_bank_bits(aligned + 32)
+
+
+@given(st.integers(0, 2**40), st.sampled_from([2, 4, 8]))
+def test_tage_bank_distribution_nontrivial(base, banks):
+    """Across 64 consecutive branch PCs the hash uses every bank."""
+    seen = {tage_bank_bits(base + 4 * i, banks) for i in range(64)}
+    assert seen == set(range(banks))
+
+
+# --------------------------------------------------------------------------
+# H2P table
+# --------------------------------------------------------------------------
+
+@given(st.lists(st.integers(0, 40), min_size=1, max_size=200))
+def test_h2p_counter_never_exceeds_saturation(branch_ids):
+    table = H2PTable(H2PTableConfig(counter_bits=3))
+    for branch in branch_ids:
+        table.record_misprediction(0x1000 + branch * 4)
+    for branch in set(branch_ids):
+        assert 0 <= table.counter(0x1000 + branch * 4) <= 7
+
+
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=100),
+       st.integers(1, 5))
+def test_h2p_decrement_monotone(branch_ids, periods):
+    table = H2PTable(H2PTableConfig(decrement_period=100))
+    for branch in branch_ids:
+        table.record_misprediction(0x2000 + branch * 4)
+    before = {b: table.counter(0x2000 + b * 4) for b in set(branch_ids)}
+    table.tick_instructions(100 * periods)
+    for branch, value in before.items():
+        after = table.counter(0x2000 + branch * 4)
+        assert after <= value
+        assert after >= max(0, value - periods)
+
+
+# --------------------------------------------------------------------------
+# cache
+# --------------------------------------------------------------------------
+
+@given(st.lists(st.integers(0, 2**16), min_size=1, max_size=300))
+def test_cache_hits_plus_misses_equals_accesses(addresses):
+    cache = Cache(CacheConfig("t", 2048, associativity=2, hit_latency=1),
+                  miss_latency=10)
+    for address in addresses:
+        cache.access(address)
+    stats = cache.stats
+    assert stats.get("hits") + stats.get("misses") == stats.get("accesses")
+    assert stats.get("accesses") == len(addresses)
+
+
+@given(st.lists(st.integers(0, 2**14), min_size=1, max_size=200))
+def test_cache_repeat_access_always_hits(addresses):
+    cache = Cache(CacheConfig("t", 64 * 1024, associativity=16,
+                              hit_latency=1), miss_latency=10)
+    for address in addresses:
+        cache.access(address)
+    # working set fits: every re-access is a hit
+    for address in addresses:
+        assert cache.access(address) == 1
+
+
+# --------------------------------------------------------------------------
+# emulator vs. builder
+# --------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from([Op.ADD, Op.XOR, Op.SUB, Op.OR]),
+                min_size=1, max_size=30),
+       st.integers(2, 20))
+def test_generated_loops_execute_exactly(ops, trips):
+    """A counted loop with an arbitrary ALU body retires exactly
+    trips * (body + 2) + preamble instructions before HALT."""
+    b = ProgramBuilder()
+    b.label("entry")
+    b.movi(1, trips)
+    loop = b.label("loop")
+    for index, op in enumerate(ops):
+        b.alu(op, 2 + (index % 4), 2 + ((index + 1) % 4),
+              2 + ((index + 2) % 4))
+    b.emit(Op.ADDI, dest=1, src1=1, imm=-1)
+    b.branch(Op.BNEZ, loop, src1=1)
+    b.halt()
+    emu = Emulator(b.finalize(entry_label="entry"))
+    trace = emu.run(1_000_000)
+    assert emu.halted
+    expected = 1 + trips * (len(ops) + 2) + 1
+    assert len(trace) == expected

@@ -1,0 +1,174 @@
+"""Property-style invariant tests on misprediction recovery and the
+in-flight machinery, driven by real workloads at small scale."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import small_core_config
+from repro.core.ooo_core import OoOCore
+from repro.workloads.profiles import build_workload, workload_trace
+
+
+def fresh_core(workload="deepsjeng", total=6_000, config=None):
+    config = config or small_core_config()
+    program = build_workload(workload)
+    trace = workload_trace(workload, total)
+    return OoOCore(config, program, trace, seed=9), total
+
+
+class TestRobDiscipline:
+    def test_rob_is_always_seq_ordered(self):
+        core, total = fresh_core()
+        checked = 0
+
+        original = core._fetch_and_apf
+
+        def wrapped():
+            original()
+            nonlocal checked
+            if core.now % 64 == 0 and len(core.rob) > 1:
+                seqs = [du.seq for du in core.rob]
+                assert seqs == sorted(seqs)
+                checked += 1
+        core._fetch_and_apf = wrapped
+        core.run(total)
+        assert checked > 10
+
+    def test_rob_bounded_by_capacity(self):
+        core, total = fresh_core()
+        cap = core.config.backend.rob_entries
+        original = core._allocate
+
+        def wrapped():
+            original()
+            assert len(core.rob) <= cap
+        core._allocate = wrapped
+        core.run(total)
+
+    def test_no_duplicate_trace_indices_retire(self):
+        core, total = fresh_core("leela",
+                                 config=small_core_config().with_apf())
+        seen = set()
+        original = core._retire
+
+        def wrapped():
+            before = list(core.rob)
+            count_before = core.retired
+            original()
+            for du in before[:core.retired - count_before]:
+                assert du.trace_index not in seen
+                seen.add(du.trace_index)
+        core._retire = wrapped
+        core.run(total)
+        assert len(seen) == core.retired
+
+
+class TestInflightDiscipline:
+    def test_inflight_branches_are_seq_ordered(self):
+        core, total = fresh_core("leela",
+                                 config=small_core_config().with_apf())
+        original = core._fetch_and_apf
+
+        def wrapped():
+            original()
+            if core.now % 128 == 0 and len(core.inflight) > 1:
+                seqs = [r.seq for r in core.inflight]
+                assert seqs == sorted(seqs)
+        core._fetch_and_apf = wrapped
+        core.run(total)
+
+    def test_apf_resources_released_on_flush(self):
+        """After any run, every buffer is either free or owned by a live,
+        unresolved branch."""
+        core, total = fresh_core("leela",
+                                 config=small_core_config().with_apf())
+        original = core._process_events
+
+        def wrapped():
+            original()
+            if core.now % 64:
+                return
+            for slot in core.apf.buffers:
+                if slot is None:
+                    continue
+                rec = slot.branch
+                assert not rec.squashed, "squashed branch still owns buffer"
+        core._process_events = wrapped
+        core.run(total)
+
+    def test_events_never_fire_for_squashed(self):
+        core, total = fresh_core("leela")
+        fired = []
+        original = core._resolve
+
+        def wrapped(rec):
+            assert not rec.squashed
+            assert not rec.resolved
+            fired.append(rec.seq)
+            original(rec)
+        core._resolve = wrapped
+        core.run(total)
+        assert fired
+        assert len(fired) == len(set(fired))
+
+
+class TestRecoveryStateRestoration:
+    def test_history_restored_consistently(self):
+        """After a plain recovery, the fetch history must equal the
+        branch's checkpoint plus its actual outcome."""
+        core, total = fresh_core("deepsjeng")
+        checked = []
+        original = core._plain_recovery
+
+        def wrapped(rec):
+            original(rec)
+            if rec.is_conditional:
+                expected_ghr = ((rec.hist_checkpoint[0] << 1)
+                                | (1 if rec.actual_taken else 0))
+                expected_ghr &= (1 << core.fetch.history.max_length) - 1
+                assert core.fetch.history.ghr == expected_ghr
+                checked.append(rec.seq)
+        core._plain_recovery = wrapped
+        core.run(total)
+        assert checked
+
+    def test_fetch_cursor_after_plain_recovery(self):
+        core, total = fresh_core("deepsjeng")
+        original = core._plain_recovery
+
+        def wrapped(rec):
+            original(rec)
+            assert not core.fetch.wrong_path
+            assert core.fetch.cursor == rec.recovery_cursor
+        core._plain_recovery = wrapped
+        core.run(total)
+
+    def test_restore_resumes_at_buffer_end(self):
+        core, total = fresh_core("leela",
+                                 config=small_core_config().with_apf())
+        restores = []
+        original = core._restore_from_buffer
+
+        def wrapped(rec, buffer):
+            original(rec, buffer)
+            assert core.fetch.history.ghr == buffer.end_ghr
+            restores.append(rec.seq)
+        core._restore_from_buffer = wrapped
+        core.run(total)
+        assert restores, "expected APF restores on leela"
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from(["leela", "xz", "tc", "bfs"]),
+       st.booleans())
+def test_runs_complete_for_any_workload_and_mode(workload, apf_enabled):
+    """Fuzz: every (workload, mode) combination completes its run and
+    retires the full instruction target."""
+    config = small_core_config()
+    if apf_enabled:
+        config = config.with_apf()
+    program = build_workload(workload)
+    trace = workload_trace(workload, 3_000)
+    core = OoOCore(config, program, trace, seed=3)
+    core.run(3_000)
+    assert core.retired == 3_000

@@ -1,0 +1,68 @@
+"""Tests for Fig. 10's accounting: how each misprediction recovery is
+classified into re-fill-savings buckets."""
+
+from repro.common.config import small_core_config
+from repro.core.ooo_core import OoOCore
+from repro.workloads.profiles import build_workload, workload_trace
+
+
+def run_core(workload="leela", total=10_000, apf=True):
+    config = small_core_config().with_apf() if apf else small_core_config()
+    program = build_workload(workload)
+    trace = workload_trace(workload, total)
+    core = OoOCore(config, program, trace, seed=5)
+    core.run(total)
+    return core
+
+
+class TestRefillHistogram:
+    def test_histogram_total_matches_recoveries(self):
+        core = run_core()
+        hist = core.stats.histogram("refill_saved")
+        # every conditional-branch recovery lands in exactly one bucket
+        assert hist.total() <= core.stats.get("recoveries")
+        assert hist.total() > 0
+
+    def test_buckets_bounded_by_depth(self):
+        core = run_core()
+        depth = core.config.apf.pipeline_depth
+        hist = core.stats.histogram("refill_saved")
+        assert all(-1 <= bucket <= depth for bucket in hist.buckets)
+
+    def test_unmarked_bucket_exists(self):
+        """Some mispredictions come from branches never marked H2P (warm-up
+        and capacity effects — the paper's 'small percentage')."""
+        core = run_core()
+        hist = core.stats.histogram("refill_saved")
+        assert hist.buckets.get(-1, 0) > 0
+
+    def test_no_apf_means_no_positive_buckets(self):
+        core = run_core(apf=False)
+        hist = core.stats.histogram("refill_saved")
+        assert all(bucket <= 0 for bucket in hist.buckets)
+
+    def test_saved_cycles_correlate_with_restored_uops(self):
+        """Restores deliver roughly 8 uops per saved fetch cycle."""
+        core = run_core()
+        hist = core.stats.histogram("refill_saved")
+        saved_cycles = sum(b * c for b, c in hist.buckets.items() if b > 0)
+        restored = core.stats.get("apf_restored_uops")
+        assert restored > 0
+        width = core.config.frontend.width
+        # restored uops can't exceed saved fetch cycles * width (buffers
+        # hold at most 8 uops per fetched cycle)
+        assert restored <= (saved_cycles + hist.total()) * width
+
+    def test_deeper_pipe_saves_more_per_branch(self):
+        shallow_cfg = small_core_config().with_apf(
+            pipeline_depth=5, buffer_capacity_uops=40)
+        deep_cfg = small_core_config().with_apf()
+        program = build_workload("leela")
+        trace = workload_trace("leela", 10_000)
+        shallow = OoOCore(shallow_cfg, program, trace, seed=5)
+        shallow.run(10_000)
+        deep = OoOCore(deep_cfg, program, trace, seed=5)
+        deep.run(10_000)
+        mean_shallow = shallow.stats.histogram("refill_saved").mean()
+        mean_deep = deep.stats.histogram("refill_saved").mean()
+        assert mean_deep > mean_shallow

@@ -1,0 +1,115 @@
+"""Tests for the subtlest APF mechanism: validating buffered alternate-path
+uops against the architectural trace at restore time.
+
+When a buffered path contains a branch whose *shadow* prediction was wrong,
+everything after it in the buffer is wrong-path; the embedded branch must
+later resolve and recover through the normal machinery (Section V-G's
+behaviour, emergent rather than special-cased)."""
+
+from repro.common.config import small_core_config
+from repro.core.ooo_core import OoOCore
+from repro.workloads.profiles import build_workload, workload_trace
+
+
+def run_instrumented(workload="leela", total=15_000):
+    config = small_core_config().with_apf()
+    program = build_workload(workload)
+    trace = workload_trace(workload, total)
+    core = OoOCore(config, program, trace, seed=5)
+
+    observations = {
+        "restores": 0,
+        "restores_with_wrong_tail": 0,
+        "restored_wrong_uops": 0,
+        "restored_correct_uops": 0,
+        "embedded_mispredicts": 0,
+        "embedded_recoveries": 0,
+    }
+
+    original_restore = core._restore_from_buffer
+
+    def wrapped_restore(rec, buffer):
+        queued_before = len(core.restore_queue)
+        original_restore(rec, buffer)
+        observations["restores"] += 1
+        new = [du for _r, du in list(core.restore_queue)[queued_before:]]
+        wrong = [du for du in new if du.wrong_path]
+        observations["restored_wrong_uops"] += len(wrong)
+        observations["restored_correct_uops"] += len(new) - len(wrong)
+        if wrong:
+            observations["restores_with_wrong_tail"] += 1
+        # every wrong-path restored uop must be preceded by an embedded
+        # mispredicted branch in the same restore batch
+        if wrong:
+            first_wrong = min(du.seq for du in wrong)
+            embedded = [du for du in new
+                        if du.branch is not None and du.branch.mispredict
+                        and du.seq < first_wrong]
+            assert embedded, ("wrong-path restored uops without a guarding "
+                              "embedded mispredicted branch")
+        for du in new:
+            if du.branch is not None and du.branch.mispredict:
+                observations["embedded_mispredicts"] += 1
+        return None
+
+    core._restore_from_buffer = wrapped_restore
+    core.run(total)
+    return core, observations
+
+
+class TestRestoreValidation:
+    def test_restored_uops_split_correct_and_wrong(self):
+        core, obs = run_instrumented()
+        assert obs["restores"] > 0
+        assert obs["restored_correct_uops"] > 0
+        # shadow predictions are good but not perfect: some restores carry
+        # a wrong-path tail on a high-MPKI workload
+        assert obs["restores_with_wrong_tail"] > 0
+        assert obs["embedded_mispredicts"] > 0
+
+    def test_wrong_tail_is_contiguous_suffix(self):
+        """Within one restore, wrong-path uops always form a suffix."""
+        config = small_core_config().with_apf()
+        program = build_workload("leela")
+        trace = workload_trace("leela", 12_000)
+        core = OoOCore(config, program, trace, seed=5)
+        original = core._restore_from_buffer
+
+        def wrapped(rec, buffer):
+            before = len(core.restore_queue)
+            original(rec, buffer)
+            new = [du for _r, du in list(core.restore_queue)[before:]]
+            seen_wrong = False
+            for du in new:
+                if du.wrong_path:
+                    seen_wrong = True
+                else:
+                    assert not seen_wrong, \
+                        "correct-path uop after wrong-path in a restore"
+        core._restore_from_buffer = wrapped
+        core.run(12_000)
+
+    def test_run_completes_despite_embedded_mispredicts(self):
+        core, obs = run_instrumented()
+        assert core.retired == 15_000
+
+    def test_restore_ready_cycles_are_staged(self):
+        """Restored uops become allocatable in 8-uop groups, one group per
+        cycle, starting after depth - apf_depth cycles (Section V-G)."""
+        config = small_core_config().with_apf()
+        program = build_workload("leela")
+        trace = workload_trace("leela", 12_000)
+        core = OoOCore(config, program, trace, seed=5)
+        offset = config.frontend.depth - config.apf.pipeline_depth
+        original = core._restore_from_buffer
+
+        def wrapped(rec, buffer):
+            before = len(core.restore_queue)
+            now = core.now
+            original(rec, buffer)
+            new = list(core.restore_queue)[before:]
+            for position, (ready, _du) in enumerate(new):
+                expected = now + offset + position // 8
+                assert ready == expected
+        core._restore_from_buffer = wrapped
+        core.run(12_000)

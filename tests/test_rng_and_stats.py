@@ -1,0 +1,157 @@
+"""Tests for DeterministicRng, StatGroup, and Histogram."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import Histogram, StatGroup, geomean, ratio
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.next_u64() for _ in range(20)] \
+            == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.next_u64() for _ in range(4)] \
+            != [b.next_u64() for _ in range(4)]
+
+    @given(st.integers(min_value=0, max_value=2**32),
+           st.integers(min_value=-100, max_value=100),
+           st.integers(min_value=0, max_value=200))
+    def test_randint_in_range(self, seed, low, span):
+        rng = DeterministicRng(seed)
+        high = low + span
+        for _ in range(10):
+            assert low <= rng.randint(low, high) <= high
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).randint(5, 4)
+
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(7)
+        for _ in range(100):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_random_roughly_uniform(self):
+        rng = DeterministicRng(9)
+        mean = sum(rng.random() for _ in range(5000)) / 5000
+        assert abs(mean - 0.5) < 0.03
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(3)
+        assert not any(rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0) for _ in range(50))
+
+    def test_choice_and_empty(self):
+        rng = DeterministicRng(5)
+        assert rng.choice([1, 2, 3]) in (1, 2, 3)
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(11)
+        items = list(range(30))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_fork_streams_independent(self):
+        rng = DeterministicRng(13)
+        child1 = rng.fork(1)
+        rng2 = DeterministicRng(13)
+        child1_again = rng2.fork(1)
+        assert [child1.next_u64() for _ in range(5)] \
+            == [child1_again.next_u64() for _ in range(5)]
+
+
+class TestRatioGeomean:
+    def test_ratio_zero_denominator(self):
+        assert ratio(5, 0) == 0.0
+
+    def test_geomean_basic(self):
+        assert math.isclose(geomean([2, 8]), 4.0)
+        assert math.isclose(geomean([1.05, 1.05]), 1.05)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestHistogram:
+    def test_add_and_total(self):
+        hist = Histogram()
+        hist.add(3)
+        hist.add(3, 2)
+        hist.add(0)
+        assert hist.total() == 4
+        assert hist.buckets[3] == 3
+
+    def test_fractions(self):
+        hist = Histogram()
+        hist.add(1, 3)
+        hist.add(5, 1)
+        assert hist.fraction(1) == 0.75
+        assert hist.fraction_at_least(2) == 0.25
+
+    def test_mean(self):
+        hist = Histogram()
+        hist.add(2, 2)
+        hist.add(4, 2)
+        assert hist.mean() == 3.0
+
+    def test_empty_mean(self):
+        assert Histogram().mean() == 0.0
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.add(1, 2)
+        b.add(1, 3)
+        b.add(2, 1)
+        a.merge(b)
+        assert a.as_dict() == {1: 5, 2: 1}
+
+
+class TestStatGroup:
+    def test_incr_get(self):
+        stats = StatGroup("x")
+        stats.incr("a")
+        stats.incr("a", 4)
+        assert stats.get("a") == 5
+        assert stats.get("missing") == 0
+
+    def test_rates(self):
+        stats = StatGroup("x")
+        stats.incr("hits", 9)
+        stats.incr("accesses", 10)
+        assert stats.rate("hits", "accesses") == 0.9
+        assert stats.per_kilo("hits", "accesses") == 900.0
+
+    def test_merge_and_reset(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        a.incr("k", 1)
+        b.incr("k", 2)
+        b.histogram("h").add(1)
+        a.merge(b)
+        assert a.get("k") == 3
+        assert a.histogram("h").total() == 1
+        a.reset()
+        assert a.get("k") == 0
+
+    def test_snapshot_is_copy(self):
+        stats = StatGroup("x")
+        stats.incr("a")
+        snap = stats.snapshot()
+        stats.incr("a")
+        assert snap["a"] == 1

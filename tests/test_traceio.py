@@ -1,0 +1,79 @@
+"""Trace serialisation round-trip tests."""
+
+import pytest
+
+from repro.common.config import small_core_config
+from repro.core.ooo_core import OoOCore
+from repro.core.simulator import Simulator
+from repro.workloads.profiles import build_workload, workload_trace
+from repro.workloads.traceio import (
+    TRACE_FORMAT_VERSION,
+    load_trace,
+    save_trace,
+)
+
+
+class TestRoundTrip:
+    def test_program_and_trace_roundtrip(self, tmp_path):
+        program = build_workload("xz")
+        trace = workload_trace("xz", 4_000)
+        path = tmp_path / "xz.trace.gz"
+        save_trace(path, program, trace)
+        loaded_program, loaded_trace = load_trace(path)
+
+        assert loaded_program.name == program.name
+        assert loaded_program.entry_pc == program.entry_pc
+        assert len(loaded_program) == len(program)
+        assert loaded_program.initial_data == program.initial_data
+        assert loaded_program.arrays == program.arrays
+        assert len(loaded_trace) == len(trace)
+        assert loaded_trace.taken == trace.taken
+        assert loaded_trace.next_pc == trace.next_pc
+        assert loaded_trace.mem_addr == trace.mem_addr
+        assert [u.pc for u in loaded_trace.uops] \
+            == [u.pc for u in trace.uops]
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        program = build_workload("leela")
+        trace = workload_trace("leela", 4_000)
+        path = tmp_path / "leela.trace.gz"
+        save_trace(path, program, trace)
+        loaded_program, loaded_trace = load_trace(path)
+
+        core_a = OoOCore(small_core_config(), program, trace, seed=5)
+        core_a.run(4_000)
+        core_b = OoOCore(small_core_config(), loaded_program, loaded_trace,
+                         seed=5)
+        core_b.run(4_000)
+        assert core_a.now == core_b.now
+        assert core_a.stats.snapshot() == core_b.stats.snapshot()
+
+    def test_simulator_accepts_loaded_bundle(self, tmp_path):
+        program = build_workload("pr")
+        trace = workload_trace("pr", 3_000)
+        path = tmp_path / "pr.trace.gz"
+        save_trace(path, program, trace)
+        loaded_program, loaded_trace = load_trace(path)
+        result = Simulator().run("pr", warmup=500, measure=2_000,
+                                 program=loaded_program,
+                                 trace=loaded_trace)
+        # retire-width overshoot is allowed when the trace continues past
+        # the instruction target
+        assert 2_000 <= result.instructions < 2_000 + 8
+
+    def test_version_check(self, tmp_path):
+        import gzip
+        import json
+        path = tmp_path / "bad.trace.gz"
+        with gzip.open(path, "wt") as handle:
+            json.dump({"version": TRACE_FORMAT_VERSION + 99}, handle)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_file_is_compressed_and_small(self, tmp_path):
+        program = build_workload("xz")
+        trace = workload_trace("xz", 4_000)
+        path = tmp_path / "xz.trace.gz"
+        save_trace(path, program, trace)
+        # compact enough to ship: far below raw JSON size
+        assert path.stat().st_size < 2_000_000
