@@ -5,7 +5,12 @@ confidence priority raises it to ~5% (low-confidence branches are the
 more precise candidates, reducing wasted APF cycles).
 """
 
-from bench_common import apf_config, baseline_config, save_result
+from bench_common import (
+    apf_config,
+    baseline_config,
+    register_bench,
+    save_result,
+)
 from repro.analysis.harness import sweep
 from repro.analysis.metrics import geomean_speedup
 from repro.analysis.report import render_table
@@ -26,15 +31,29 @@ def run_experiment():
                   for name, cfg in VARIANTS.items()}
 
 
-def test_ablation_confidence(benchmark):
-    base, variants = benchmark.pedantic(run_experiment, rounds=1,
-                                        iterations=1)
+def render(base, variants) -> str:
     geo = {name: geomean_speedup(results, base)
            for name, results in variants.items()}
     rows = [(name, f"{geo[name]:.4f}") for name in VARIANTS]
-    text = render_table(["selector", "geomean speedup"], rows,
+    return render_table(["selector", "geomean speedup"], rows,
                         title="Section V-D: H2P/TAGE-confidence ablation")
+
+
+@register_bench("ablation_confidence")
+def run() -> str:
+    """Section V-D: H2P-table vs TAGE-confidence selector ablation."""
+    base, variants = run_experiment()
+    text = render(base, variants)
     save_result("ablation_confidence", text)
+    return text
+
+
+def test_ablation_confidence(benchmark):
+    base, variants = benchmark.pedantic(run_experiment, rounds=1,
+                                        iterations=1)
+    save_result("ablation_confidence", render(base, variants))
+    geo = {name: geomean_speedup(results, base)
+           for name, results in variants.items()}
 
     # all variants must help
     assert all(value > 1.0 for value in geo.values())

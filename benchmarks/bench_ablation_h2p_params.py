@@ -10,7 +10,12 @@ coverage); the paper's operating point sits in the middle.
 
 import dataclasses
 
-from bench_common import apf_config, baseline_config, save_result
+from bench_common import (
+    apf_config,
+    baseline_config,
+    register_bench,
+    save_result,
+)
 from repro.analysis.harness import sweep
 from repro.analysis.metrics import geomean_speedup
 from repro.analysis.report import render_table
@@ -51,22 +56,39 @@ def aggregate_marking(results):
     return coverage, wastage
 
 
-def test_ablation_h2p_params(benchmark):
-    base, variants = benchmark.pedantic(run_experiment, rounds=1,
-                                        iterations=1)
-    rows = []
+def variant_stats(base, variants):
     stats = {}
     for label, *_ in VARIANTS:
         results = variants[label]
         coverage, wastage = aggregate_marking(results)
-        speedup = geomean_speedup(results, base)
-        stats[label] = (coverage, wastage, speedup)
-        rows.append((label, f"{coverage:.1%}", f"{wastage:.1%}",
-                     f"{speedup:.4f}"))
-    text = render_table(
+        stats[label] = (coverage, wastage,
+                        geomean_speedup(results, base))
+    return stats
+
+
+def render(base, variants) -> str:
+    stats = variant_stats(base, variants)
+    rows = [(label, f"{coverage:.1%}", f"{wastage:.1%}", f"{speedup:.4f}")
+            for label, (coverage, wastage, speedup) in stats.items()]
+    return render_table(
         ["variant", "coverage", "wastage", "geomean speedup"], rows,
         title="Section V-C: H2P Table parameter sweep (H2P-only APF)")
+
+
+@register_bench("ablation_h2p_params")
+def run() -> str:
+    """Section V-C: H2P Table decrement-period / threshold sweep."""
+    base, variants = run_experiment()
+    text = render(base, variants)
     save_result("ablation_h2p_params", text)
+    return text
+
+
+def test_ablation_h2p_params(benchmark):
+    base, variants = benchmark.pedantic(run_experiment, rounds=1,
+                                        iterations=1)
+    save_result("ablation_h2p_params", render(base, variants))
+    stats = variant_stats(base, variants)
 
     # slower decay marks more branches: coverage rises with the period
     assert stats["decay_5k"][0] <= stats["decay_80k"][0] + 0.02

@@ -10,7 +10,7 @@ gshare < perceptron < TAGE on our workloads, and (b) that APF's benefit
 
 import dataclasses
 
-from bench_common import baseline_config, save_result
+from bench_common import baseline_config, register_bench, save_result
 from repro.analysis.harness import sweep
 from repro.analysis.metrics import geomean_speedup
 from repro.analysis.report import render_table
@@ -37,20 +37,38 @@ def avg_mpki(results):
     return sum(r.branch_mpki for r in results.values()) / len(results)
 
 
-def test_ablation_predictors(benchmark):
-    by_kind = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    rows = []
+def summarize(by_kind):
     mpki = {}
     apf_gain = {}
     for kind in PREDICTORS:
         base, apf = by_kind[kind]
         mpki[kind] = avg_mpki(base)
         apf_gain[kind] = geomean_speedup(apf, base)
-        rows.append((kind, f"{mpki[kind]:.2f}", f"{apf_gain[kind]:.4f}"))
-    text = render_table(
+    return mpki, apf_gain
+
+
+def render(by_kind) -> str:
+    mpki, apf_gain = summarize(by_kind)
+    rows = [(kind, f"{mpki[kind]:.2f}", f"{apf_gain[kind]:.4f}")
+            for kind in PREDICTORS]
+    return render_table(
         ["predictor", "avg branch MPKI", "APF geomean speedup"], rows,
         title="Extension: APF benefit vs baseline predictor quality")
+
+
+@register_bench("ablation_predictors")
+def run() -> str:
+    """Extension: APF benefit vs TAGE / perceptron / gshare baselines."""
+    by_kind = run_experiment()
+    text = render(by_kind)
     save_result("ablation_predictors", text)
+    return text
+
+
+def test_ablation_predictors(benchmark):
+    by_kind = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_result("ablation_predictors", render(by_kind))
+    mpki, apf_gain = summarize(by_kind)
 
     # the two modern predictors are competitive; gshare is clearly worse
     assert mpki["gshare"] > max(mpki["tage"], mpki["perceptron"])

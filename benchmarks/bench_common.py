@@ -6,12 +6,21 @@ benchmarks that share configurations reuse each other's simulations. Each
 benchmark writes its rendered output to ``benchmarks/results/<name>.txt``
 and prints it, so ``pytest benchmarks/ --benchmark-only -s`` shows every
 reproduced table/figure.
+
+Each benchmark module also registers a CLI entry point via
+:func:`register_bench`; ``python -m repro bench`` imports every
+``bench_*.py`` here (:func:`load_benchmarks`) and runs the selected
+entries through the process-parallel runner — all simulation goes through
+``repro.analysis.harness.sweep``, which routes to the active
+``repro.analysis.runner.Runner``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import importlib
 from pathlib import Path
+from typing import Callable, Dict
 
 from repro.common.config import (
     AlternatePathMode,
@@ -21,6 +30,25 @@ from repro.common.config import (
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: benchmark name -> zero-argument entry point returning the rendered text
+BENCH_REGISTRY: Dict[str, Callable[[], str]] = {}
+
+
+def register_bench(name: str):
+    """Register ``fn`` as the CLI entry point for benchmark ``name``."""
+    def decorator(fn: Callable[[], str]) -> Callable[[], str]:
+        BENCH_REGISTRY[name] = fn
+        return fn
+    return decorator
+
+
+def load_benchmarks() -> Dict[str, Callable[[], str]]:
+    """Import every bench module, populating :data:`BENCH_REGISTRY`."""
+    for path in sorted(Path(__file__).parent.glob("bench_*.py")):
+        if path.stem != "bench_common":
+            importlib.import_module(path.stem)
+    return BENCH_REGISTRY
 
 
 def baseline_config() -> CoreConfig:

@@ -6,7 +6,12 @@ workloads and *hurts* high-MPKI workloads because the deeper Rename adds
 re-fill latency; overall gain is small (~2.8% in the paper's conclusion).
 """
 
-from bench_common import baseline_config, save_result, wide_core_config
+from bench_common import (
+    baseline_config,
+    register_bench,
+    save_result,
+    wide_core_config,
+)
 from repro.analysis.harness import sweep
 from repro.analysis.metrics import geomean_speedup, speedups
 from repro.analysis.report import render_table
@@ -19,17 +24,30 @@ def run_experiment():
     return base, wide
 
 
-def test_fig01_wide_core(benchmark):
-    base, wide = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def render(base, wide) -> str:
     ratio = speedups(wide, base)
     rows = [(name, f"{base[name].ipc:.3f}", f"{wide[name].ipc:.3f}",
              f"{ratio[name]:.3f}", f"{base[name].branch_mpki:.2f}")
             for name in ALL_NAMES]
     rows.append(("GEOMEAN", "", "", f"{geomean_speedup(wide, base):.3f}", ""))
-    text = render_table(
+    return render_table(
         ["workload", "ipc_8wide", "ipc_16wide", "speedup", "base_mpki"],
         rows, title="Fig.1: 16-wide core (+1 rename stage) vs 8-wide baseline")
+
+
+@register_bench("fig01_wide_core")
+def run() -> str:
+    """Fig. 1: 16-wide core (+1 rename stage) vs the 8-wide baseline."""
+    base, wide = run_experiment()
+    text = render(base, wide)
     save_result("fig01_wide_core", text)
+    return text
+
+
+def test_fig01_wide_core(benchmark):
+    base, wide = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_result("fig01_wide_core", render(base, wide))
+    ratio = speedups(wide, base)
 
     gm = geomean_speedup(wide, base)
     assert gm < 1.15, "a 16-wide core must not be a large win (Fig. 1)"

@@ -5,20 +5,35 @@ perlbench/xalancbmk/x264 low — the workload calibration that every other
 experiment rests on.
 """
 
-from bench_common import baseline_config, save_result
+from bench_common import baseline_config, register_bench, save_result
 from repro.analysis.harness import sweep
 from repro.analysis.report import render_table
 from repro.workloads.profiles import ALL_NAMES, GAP_NAMES
 
 
-def test_fig02_mpki(benchmark):
-    results = benchmark.pedantic(
-        lambda: sweep(ALL_NAMES, baseline_config()), rounds=1, iterations=1)
+def run_experiment():
+    return sweep(ALL_NAMES, baseline_config())
+
+
+def render(results) -> str:
     rows = [(name, f"{results[name].branch_mpki:.2f}",
              f"{results[name].ipc:.3f}") for name in ALL_NAMES]
-    text = render_table(["workload", "branch_mpki", "ipc"], rows,
+    return render_table(["workload", "branch_mpki", "ipc"], rows,
                         title="Fig.2: baseline conditional branch MPKI")
+
+
+@register_bench("fig02_mpki")
+def run() -> str:
+    """Fig. 2: baseline conditional-branch MPKI per workload."""
+    results = run_experiment()
+    text = render(results)
     save_result("fig02_mpki", text)
+    return text
+
+
+def test_fig02_mpki(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_result("fig02_mpki", render(results))
 
     mpki = {name: results[name].branch_mpki for name in ALL_NAMES}
     low_group = ["perlbench", "xalancbmk", "x264"]

@@ -5,7 +5,12 @@ Paper's finding: 2 banks ≈ neutral (can even help via reduced aliasing);
 exchange2 hurt most.
 """
 
-from bench_common import banked_baseline_config, baseline_config, save_result
+from bench_common import (
+    banked_baseline_config,
+    baseline_config,
+    register_bench,
+    save_result,
+)
 from repro.analysis.harness import sweep
 from repro.analysis.metrics import geomean_speedup, speedups
 from repro.analysis.report import render_table
@@ -19,8 +24,7 @@ def run_experiment():
     return base, banked
 
 
-def test_fig07_tage_banking(benchmark):
-    base, banked = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def render(base, banked) -> str:
     rows = []
     for name in ALL_NAMES:
         rows.append((name,
@@ -29,10 +33,24 @@ def test_fig07_tage_banking(benchmark):
                      f"{banked[4][name].branch_mpki - base[name].branch_mpki:+.2f}"))
     geo = {b: geomean_speedup(banked[b], base) for b in (2, 4, 8)}
     rows.append(("GEOMEAN", *(f"{geo[b]:.3f}" for b in (2, 4, 8)), ""))
-    text = render_table(
+    return render_table(
         ["workload", "2 banks", "4 banks", "8 banks", "d_mpki@4"],
         rows, title="Fig.7: TAGE banking vs un-banked baseline (perf rel.)")
+
+
+@register_bench("fig07_tage_banking")
+def run() -> str:
+    """Fig. 7: TAGE banking cost on the baseline core (no APF)."""
+    base, banked = run_experiment()
+    text = render(base, banked)
     save_result("fig07_tage_banking", text)
+    return text
+
+
+def test_fig07_tage_banking(benchmark):
+    base, banked = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_result("fig07_tage_banking", render(base, banked))
+    geo = {b: geomean_speedup(banked[b], base) for b in (2, 4, 8)}
 
     # banking must be roughly neutral-to-small-cost (paper: ~ -0.5%)
     assert 0.95 < geo[4] <= 1.02

@@ -11,6 +11,7 @@ from bench_common import (
     apf_config,
     baseline_config,
     dpip_parallel_config,
+    register_bench,
     save_result,
 )
 from repro.analysis.harness import sweep
@@ -36,16 +37,30 @@ def run_experiment():
     return base, by_depth
 
 
-def test_fig09_depth_sweep(benchmark):
-    base, by_depth = benchmark.pedantic(run_experiment, rounds=1,
-                                        iterations=1)
+def render(base, by_depth) -> str:
     geo = {depth: geomean_speedup(results, base)
            for depth, results in by_depth.items()}
     rows = [(f"{d} stages" + (" (DPIP)" if d > 13 else " (APF)"),
              f"{geo[d]:.4f}") for d in APF_DEPTHS + DPIP_DEPTHS]
-    text = render_table(["alternate pipeline depth", "geomean speedup"],
+    return render_table(["alternate pipeline depth", "geomean speedup"],
                         rows, title="Fig.9: alternate path pipeline depth")
+
+
+@register_bench("fig09_depth_sweep")
+def run() -> str:
+    """Fig. 9: performance vs alternate-path pipeline depth."""
+    base, by_depth = run_experiment()
+    text = render(base, by_depth)
     save_result("fig09_depth_sweep", text)
+    return text
+
+
+def test_fig09_depth_sweep(benchmark):
+    base, by_depth = benchmark.pedantic(run_experiment, rounds=1,
+                                        iterations=1)
+    save_result("fig09_depth_sweep", render(base, by_depth))
+    geo = {depth: geomean_speedup(results, base)
+           for depth, results in by_depth.items()}
 
     # monotone improvement up to 13 stages
     assert geo[3] <= geo[7] + 0.005

@@ -7,7 +7,7 @@ while the 0-cycle (pipeline busy) share grows; past 13 stages (DPIP)
 coverage collapses — most mispredicts see no saving at all.
 """
 
-from bench_common import save_result
+from bench_common import register_bench, save_result
 from bench_fig09_depth_sweep import APF_DEPTHS, DPIP_DEPTHS, config_for_depth
 from repro.analysis.harness import sweep
 from repro.analysis.metrics import BUCKET_LABELS, coverage_buckets
@@ -20,8 +20,7 @@ def run_experiment():
             for depth in APF_DEPTHS + DPIP_DEPTHS}
 
 
-def test_fig10_coverage(benchmark):
-    by_depth = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def render(by_depth) -> str:
     buckets = {depth: coverage_buckets(results.values())
                for depth, results in by_depth.items()}
     rows = []
@@ -29,9 +28,24 @@ def test_fig10_coverage(benchmark):
         label = f"{depth}" + ("(DPIP)" if depth > 13 else "")
         rows.append((label, *(f"{buckets[depth][b]:.1%}"
                               for b in BUCKET_LABELS)))
-    text = render_table(["depth"] + list(BUCKET_LABELS), rows,
+    return render_table(["depth"] + list(BUCKET_LABELS), rows,
                         title="Fig.10: mispredicts by re-fill cycles saved")
+
+
+@register_bench("fig10_coverage")
+def run() -> str:
+    """Fig. 10: misprediction coverage by re-fill cycles saved."""
+    by_depth = run_experiment()
+    text = render(by_depth)
     save_result("fig10_coverage", text)
+    return text
+
+
+def test_fig10_coverage(benchmark):
+    by_depth = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_result("fig10_coverage", render(by_depth))
+    buckets = {depth: coverage_buckets(results.values())
+               for depth, results in by_depth.items()}
 
     def covered(depth):
         """Fraction of mispredicts with any saving at all."""

@@ -7,7 +7,12 @@ queues absorb some lost prediction cycles) but can lose on fetch-bound
 ones.
 """
 
-from bench_common import apf_config, baseline_config, save_result
+from bench_common import (
+    apf_config,
+    baseline_config,
+    register_bench,
+    save_result,
+)
 from repro.analysis.harness import sweep
 from repro.analysis.metrics import geomean_speedup, speedups
 from repro.analysis.report import render_table
@@ -29,18 +34,31 @@ def run_experiment():
     return base, results
 
 
-def test_fig11_fetch_schemes(benchmark):
-    base, results = benchmark.pedantic(run_experiment, rounds=1,
-                                       iterations=1)
+def render(base, results) -> str:
     per_scheme = {name: speedups(res, base)
                   for name, res in results.items()}
     rows = [(wl, *(f"{per_scheme[s][wl]:.3f}" for s in SCHEMES))
             for wl in ALL_NAMES]
     geo = {s: geomean_speedup(results[s], base) for s in SCHEMES}
     rows.append(("GEOMEAN", *(f"{geo[s]:.3f}" for s in SCHEMES)))
-    text = render_table(["workload"] + list(SCHEMES), rows,
+    return render_table(["workload"] + list(SCHEMES), rows,
                         title="Fig.11: APF fetch schemes vs baseline")
+
+
+@register_bench("fig11_fetch_schemes")
+def run() -> str:
+    """Fig. 11: APF under time-shared / banked / two-port fetch."""
+    base, results = run_experiment()
+    text = render(base, results)
     save_result("fig11_fetch_schemes", text)
+    return text
+
+
+def test_fig11_fetch_schemes(benchmark):
+    base, results = benchmark.pedantic(run_experiment, rounds=1,
+                                       iterations=1)
+    save_result("fig11_fetch_schemes", render(base, results))
+    geo = {s: geomean_speedup(results[s], base) for s in SCHEMES}
 
     # ordering: two ports >= banked >= time-sharing (geomean)
     assert geo["two_port"] >= geo["banked"] - 0.005

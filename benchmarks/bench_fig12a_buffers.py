@@ -4,7 +4,12 @@ Paper's finding: even one buffer captures most of the benefit (buffers
 free quickly as branches resolve); returns diminish beyond a few.
 """
 
-from bench_common import apf_config, baseline_config, save_result
+from bench_common import (
+    apf_config,
+    baseline_config,
+    register_bench,
+    save_result,
+)
 from repro.analysis.harness import sweep
 from repro.analysis.metrics import geomean_speedup
 from repro.analysis.report import render_table
@@ -20,15 +25,29 @@ def run_experiment():
     return base, by_buffers
 
 
-def test_fig12a_buffers(benchmark):
-    base, by_buffers = benchmark.pedantic(run_experiment, rounds=1,
-                                          iterations=1)
+def render(base, by_buffers) -> str:
     geo = {count: geomean_speedup(results, base)
            for count, results in by_buffers.items()}
     rows = [(str(count), f"{geo[count]:.4f}") for count in BUFFER_COUNTS]
-    text = render_table(["alternate path buffers", "geomean speedup"],
+    return render_table(["alternate path buffers", "geomean speedup"],
                         rows, title="Fig.12a: Alternate Path Buffer sweep")
+
+
+@register_bench("fig12a_buffers")
+def run() -> str:
+    """Fig. 12a: sweeping the number of Alternate Path Buffers."""
+    base, by_buffers = run_experiment()
+    text = render(base, by_buffers)
     save_result("fig12a_buffers", text)
+    return text
+
+
+def test_fig12a_buffers(benchmark):
+    base, by_buffers = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
+    save_result("fig12a_buffers", render(base, by_buffers))
+    geo = {count: geomean_speedup(results, base)
+           for count, results in by_buffers.items()}
 
     # even one buffer helps significantly over none
     assert geo[1] > geo[0]

@@ -6,7 +6,7 @@ pipeline tracks the pre-RAT depth. Finding: deeper frontends re-fill
 slower, so APF saves more; with a 12-stage frontend APF still gives ~4.4%.
 """
 
-from bench_common import frontend_depth_config, save_result
+from bench_common import frontend_depth_config, register_bench, save_result
 from repro.analysis.harness import sweep
 from repro.analysis.metrics import geomean_speedup
 from repro.analysis.report import render_table
@@ -26,18 +26,29 @@ def run_experiment():
     return out
 
 
-def test_fig12b_frontend_depth(benchmark):
-    by_depth = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    geo = {}
+def render(by_depth) -> str:
     rows = []
     for depth, (base, apf) in sorted(by_depth.items()):
-        geo[depth] = geomean_speedup(apf, base)
-        apf_depth = depth - 2
-        rows.append((f"Base({depth}) / APF({apf_depth})",
-                     f"{geo[depth]:.4f}"))
-    text = render_table(["configuration", "APF geomean speedup"], rows,
+        rows.append((f"Base({depth}) / APF({depth - 2})",
+                     f"{geomean_speedup(apf, base):.4f}"))
+    return render_table(["configuration", "APF geomean speedup"], rows,
                         title="Fig.12b: frontend depth vs APF benefit")
+
+
+@register_bench("fig12b_frontend_depth")
+def run() -> str:
+    """Fig. 12b: APF benefit vs baseline frontend depth."""
+    by_depth = run_experiment()
+    text = render(by_depth)
     save_result("fig12b_frontend_depth", text)
+    return text
+
+
+def test_fig12b_frontend_depth(benchmark):
+    by_depth = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_result("fig12b_frontend_depth", render(by_depth))
+    geo = {depth: geomean_speedup(apf, base)
+           for depth, (base, apf) in by_depth.items()}
 
     depths = sorted(geo)
     # deeper frontends benefit more from APF

@@ -9,11 +9,15 @@ relationship: the H2P table covers far more but wastes far more; TAGE
 confidence is the more precise, lower-coverage filter.
 """
 
-from bench_common import baseline_config, save_result
+from bench_common import baseline_config, register_bench, save_result
 from repro.analysis.harness import sweep
 from repro.analysis.report import render_table
 from repro.common.statistics import ratio
 from repro.workloads.profiles import ALL_NAMES
+
+
+def run_experiment():
+    return sweep(ALL_NAMES, baseline_config())
 
 
 def aggregate(results):
@@ -26,9 +30,7 @@ def aggregate(results):
     return totals
 
 
-def test_table2_h2p_quality(benchmark):
-    results = benchmark.pedantic(
-        lambda: sweep(ALL_NAMES, baseline_config()), rounds=1, iterations=1)
+def quality_stats(results):
     totals = aggregate(results)
     h2p_cov = ratio(totals["h2p_marked_mis"], totals["mis"])
     h2p_waste = ratio(totals["h2p_marked"] - totals["h2p_marked_mis"],
@@ -37,14 +39,33 @@ def test_table2_h2p_quality(benchmark):
     conf_waste = ratio(totals["lowconf_marked"]
                        - totals["lowconf_marked_mis"],
                        totals["lowconf_marked"])
+    return h2p_cov, h2p_waste, conf_cov, conf_waste
+
+
+def render(results) -> str:
+    h2p_cov, h2p_waste, conf_cov, conf_waste = quality_stats(results)
     rows = [
         ("H2P Table", f"{h2p_cov:.1%}", f"{h2p_waste:.1%}"),
         ("TAGE confidence", f"{conf_cov:.1%}", f"{conf_waste:.1%}"),
     ]
-    text = render_table(
+    return render_table(
         ["marker", "coverage (specificity)", "wastage (1-PVN)"], rows,
         title="Table II: H2P Table vs TAGE confidence")
+
+
+@register_bench("table2_h2p_quality")
+def run() -> str:
+    """Table II: H2P Table vs TAGE confidence marking quality."""
+    results = run_experiment()
+    text = render(results)
     save_result("table2_h2p_quality", text)
+    return text
+
+
+def test_table2_h2p_quality(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_result("table2_h2p_quality", render(results))
+    h2p_cov, h2p_waste, conf_cov, conf_waste = quality_stats(results)
 
     # the paper's qualitative relationships
     assert h2p_cov > conf_cov, "H2P table must cover more mispredictions"

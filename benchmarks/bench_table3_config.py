@@ -6,7 +6,7 @@ structure inventory (storage sizes match Section V-F/V-I: 104-uop buffers,
 RAS).
 """
 
-from bench_common import apf_config, save_result
+from bench_common import apf_config, register_bench, save_result
 from repro.analysis.area import OverheadModel
 from repro.analysis.report import render_table
 from repro.common.config import describe, paper_core_config, small_core_config
@@ -31,11 +31,22 @@ def build_tables():
     return rows
 
 
+def render(rows) -> str:
+    return render_table(["scale", "component", "value"], rows,
+                        title="Table III: system configuration")
+
+
+@register_bench("table3_config")
+def run() -> str:
+    """Table III: simulated system configuration and APF storage."""
+    text = render(build_tables())
+    save_result("table3_config", text)
+    return text
+
+
 def test_table3_config(benchmark):
     rows = benchmark.pedantic(build_tables, rounds=1, iterations=1)
-    text = render_table(["scale", "component", "value"], rows,
-                        title="Table III: system configuration")
-    save_result("table3_config", text)
+    save_result("table3_config", render(rows))
 
     apf = apf_config()
     assert apf.apf.buffer_capacity_uops == 104

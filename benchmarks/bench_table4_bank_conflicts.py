@@ -6,23 +6,41 @@ hashes keep the two nearby paths on different banks); bfs and tc are the
 outliers whose loop patterns defeat the hash.
 """
 
-from bench_common import apf_config, save_result
+from bench_common import apf_config, register_bench, save_result
 from repro.analysis.harness import sweep
 from repro.analysis.report import render_table
 from repro.workloads.profiles import ALL_NAMES
 
 
-def test_table4_bank_conflicts(benchmark):
-    results = benchmark.pedantic(
-        lambda: sweep(ALL_NAMES, apf_config()), rounds=1, iterations=1)
+def run_experiment():
+    return sweep(ALL_NAMES, apf_config())
+
+
+def render(results) -> str:
     fractions = {name: results[name].apf_conflict_fraction()
                  for name in ALL_NAMES}
     rows = [(name, f"{fractions[name]:.1%}") for name in ALL_NAMES]
     avg = sum(fractions.values()) / len(fractions)
     rows.append(("MEAN", f"{avg:.1%}"))
-    text = render_table(["workload", "APF cycles in bank conflicts"], rows,
+    return render_table(["workload", "APF cycles in bank conflicts"], rows,
                         title="Table IV: alternate-path bank conflicts")
+
+
+@register_bench("table4_bank_conflicts")
+def run() -> str:
+    """Table IV: alternate-path fetch cycles lost to bank conflicts."""
+    results = run_experiment()
+    text = render(results)
     save_result("table4_bank_conflicts", text)
+    return text
+
+
+def test_table4_bank_conflicts(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_result("table4_bank_conflicts", render(results))
+    fractions = {name: results[name].apf_conflict_fraction()
+                 for name in ALL_NAMES}
+    avg = sum(fractions.values()) / len(fractions)
 
     # conflicts exist but don't dominate
     assert 0.0 < avg < 0.6

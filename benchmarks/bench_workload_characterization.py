@@ -5,7 +5,7 @@ densities, footprints, basic-block sizes, and the ILP proxy. Checks the
 qualitative separations the paper's workload discussion relies on.
 """
 
-from bench_common import save_result
+from bench_common import register_bench, save_result
 from repro.analysis.characterize import characterize
 from repro.analysis.report import render_table
 from repro.workloads.profiles import ALL_NAMES, workload_trace
@@ -18,8 +18,7 @@ def run_experiment():
             for name in ALL_NAMES}
 
 
-def test_workload_characterization(benchmark):
-    profiles = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def render(profiles) -> str:
     rows = []
     for name in ALL_NAMES:
         p = profiles[name]
@@ -30,11 +29,24 @@ def test_workload_characterization(benchmark):
                      f"{p.code_footprint_bytes // 1024}K",
                      f"{p.data_working_set_bytes // 1024}K",
                      f"{p.ilp_proxy:.1f}"))
-    text = render_table(
+    return render_table(
         ["workload", "condbr/kuop", "taken", "bb_uops", "code", "data",
          "ilp"],
         rows, title="Workload characterisation (methodology)")
+
+
+@register_bench("workload_characterization")
+def run() -> str:
+    """Methodology: per-workload characterisation table."""
+    profiles = run_experiment()
+    text = render(profiles)
     save_result("workload_characterization", text)
+    return text
+
+
+def test_workload_characterization(benchmark):
+    profiles = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_result("workload_characterization", render(profiles))
 
     p = profiles
     # interpreter/compiler substitutes carry the large code footprints

@@ -5,12 +5,21 @@ from repro.analysis.characterize import TraceProfile, characterize
 from repro.analysis.pipeview import PipeTracer, UopTimeline
 from repro.analysis.plots import bar_chart, grouped_bar_chart, sparkline
 from repro.analysis.harness import (
+    CACHE_SCHEMA_VERSION,
     bench_windows,
     cache_path,
     config_signature,
     run_cached,
     sweep,
     sweep_configs,
+)
+from repro.analysis.runner import (
+    Job,
+    RunManifest,
+    Runner,
+    RunnerError,
+    current_runner,
+    using_runner,
 )
 from repro.analysis.metrics import (
     BUCKET_LABELS,
@@ -22,10 +31,11 @@ from repro.analysis.metrics import (
 from repro.analysis.report import format_pct, render_series, render_table
 
 __all__ = [
-    "BUCKET_LABELS", "OverheadModel", "PipeTracer", "StructureBudget",
+    "BUCKET_LABELS", "CACHE_SCHEMA_VERSION", "Job", "OverheadModel",
+    "PipeTracer", "RunManifest", "Runner", "RunnerError", "StructureBudget",
     "TraceProfile", "UopTimeline", "bar_chart", "bench_windows",
     "cache_path", "characterize", "config_signature", "coverage_buckets",
-    "format_pct", "geomean_speedup", "grouped_bar_chart", "mpki_table",
-    "render_series", "render_table", "run_cached", "sparkline", "speedups",
-    "sweep", "sweep_configs",
+    "current_runner", "format_pct", "geomean_speedup", "grouped_bar_chart",
+    "mpki_table", "render_series", "render_table", "run_cached", "sparkline",
+    "speedups", "sweep", "sweep_configs", "using_runner",
 ]

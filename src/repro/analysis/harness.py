@@ -1,10 +1,26 @@
-"""Experiment harness with a persistent on-disk result cache.
+"""Experiment harness with a persistent, crash-safe on-disk result cache.
 
 Every benchmark (one per paper table/figure) funnels its simulations
-through :func:`run_cached`, keyed by (workload, config, windows, seed).
-Experiments that share configurations — e.g. the Fig. 8 APF runs feeding
-Table IV's bank-conflict numbers — therefore reuse each other's results,
-and re-running a bench after an unrelated code change is cheap.
+through :func:`run_cached` or :func:`sweep`, keyed by (workload, config,
+windows, seed). Experiments that share configurations — e.g. the Fig. 8
+APF runs feeding Table IV's bank-conflict numbers — therefore reuse each
+other's results, and re-running a bench after an unrelated code change is
+cheap.
+
+Cache integrity rules:
+
+* Entries are committed atomically (``tmp`` file + ``os.replace``), so an
+  interrupted run can never leave a truncated JSON file behind.
+* Unreadable or malformed entries are treated as misses — the simulation
+  re-runs and overwrites the bad file instead of crashing.
+* Keys embed :data:`CACHE_SCHEMA_VERSION` and a canonical sorted-JSON
+  signature of the config dataclass tree, so a payload-format change or a
+  config field addition/reorder can never be served as a stale hit.
+
+``sweep``/``sweep_configs`` route through the process-parallel
+:mod:`repro.analysis.runner`; by default they run serially, but inside a
+``runner.using_runner(...)`` block (as installed by ``repro bench``) the
+same calls fan out across a worker pool.
 
 Set ``REPRO_BENCH_SCALE=full`` for longer windows (slower, smoother
 numbers); the default "small" scale reproduces every qualitative result in
@@ -13,6 +29,7 @@ minutes on one CPU.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -23,14 +40,24 @@ from repro.common.config import CoreConfig
 from repro.common.statistics import Histogram
 from repro.core.simulator import SimResult, Simulator
 
-__all__ = ["bench_windows", "config_signature", "run_cached",
-           "sweep", "cache_path"]
+__all__ = ["CACHE_SCHEMA_VERSION", "bench_windows", "cache_path",
+           "config_signature", "deserialize_result", "entry_path",
+           "load_cache_payload", "result_key", "run_cached",
+           "serialize_result", "store_cache_payload", "sweep",
+           "sweep_configs"]
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
 _SCALE_ENV = "REPRO_BENCH_SCALE"
 
-#: (warmup, measure) instruction windows per scale
+#: Bump whenever the cache payload format or the signature scheme changes:
+#: the version is embedded in every cache key, so entries written by an
+#: older scheme can never be returned as hits.
+CACHE_SCHEMA_VERSION = 2
+
+#: (warmup, measure) instruction windows per scale; "tiny" is for CI
+#: smoke runs and is too short for the paper's qualitative assertions
 _WINDOWS = {
+    "tiny": (2_000, 1_500),
     "small": (40_000, 25_000),
     "full": (100_000, 60_000),
 }
@@ -54,17 +81,29 @@ def cache_path() -> Path:
     return path
 
 
-def config_signature(config: CoreConfig) -> str:
-    """Stable signature of a frozen config dataclass tree."""
-    return hashlib.sha256(repr(config).encode()).hexdigest()[:20]
+def config_signature(config) -> str:
+    """Stable signature of a (frozen) config dataclass tree.
+
+    Canonical sorted-JSON of ``dataclasses.asdict`` — invariant under
+    field *reordering* and independent of ``repr`` formatting, while any
+    value change (including a newly added field) changes the signature.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
 
 
-def _result_key(workload: str, config: CoreConfig, warmup: int,
-                measure: int, seed: int) -> str:
-    return f"{workload}-{warmup}-{measure}-{seed}-{config_signature(config)}"
+def result_key(workload: str, config: CoreConfig, warmup: int,
+               measure: int, seed: int) -> str:
+    return (f"v{CACHE_SCHEMA_VERSION}-{workload}-{warmup}-{measure}-"
+            f"{seed}-{config_signature(config)}")
 
 
-def _serialize(result: SimResult) -> dict:
+def entry_path(key: str) -> Path:
+    return cache_path() / f"{key}.json"
+
+
+def serialize_result(result: SimResult) -> dict:
     return {
         "workload": result.workload,
         "instructions": result.instructions,
@@ -79,7 +118,7 @@ def _serialize(result: SimResult) -> dict:
     }
 
 
-def _deserialize(payload: dict) -> SimResult:
+def deserialize_result(payload: dict) -> SimResult:
     hist = Histogram()
     for bucket, count in payload.get("refill_saved", {}).items():
         hist.add(int(bucket), count)
@@ -96,6 +135,45 @@ def _deserialize(payload: dict) -> SimResult:
     )
 
 
+def load_cache_payload(path: Path) -> Tuple[Optional[dict], bool]:
+    """Read a cache entry; return ``(payload, corrupt)``.
+
+    ``(None, False)`` means a clean miss (no file); ``(None, True)`` means
+    the file exists but is unreadable or malformed — the caller should
+    re-run the simulation and overwrite it.
+    """
+    try:
+        with path.open() as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None, False
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError, ValueError):
+        return None, True
+    if not isinstance(payload, dict) or "workload" not in payload:
+        return None, True
+    return payload, False
+
+
+def store_cache_payload(path: Path, payload: dict) -> None:
+    """Atomically commit ``payload`` as the cache entry at ``path``.
+
+    Written to a temp file in the same directory and moved into place
+    with ``os.replace``, so readers only ever see complete entries. The
+    pid suffix keeps concurrent writers from clobbering each other's
+    temp files; last completed write wins (entries for one key are
+    identical by construction).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with tmp.open("w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 def run_cached(workload: str, config: CoreConfig,
                warmup: Optional[int] = None, measure: Optional[int] = None,
                seed: int = 1234, use_cache: bool = True) -> SimResult:
@@ -103,24 +181,24 @@ def run_cached(workload: str, config: CoreConfig,
     default_warmup, default_measure = bench_windows()
     warmup = default_warmup if warmup is None else warmup
     measure = default_measure if measure is None else measure
-    key = _result_key(workload, config, warmup, measure, seed)
-    path = cache_path() / f"{key}.json"
-    if use_cache and path.exists():
-        with path.open() as handle:
-            return _deserialize(json.load(handle))
+    path = entry_path(result_key(workload, config, warmup, measure, seed))
+    if use_cache:
+        payload, _corrupt = load_cache_payload(path)
+        if payload is not None:
+            return deserialize_result(payload)
     result = Simulator(config, seed=seed).run(workload, warmup, measure)
     if use_cache:
-        with path.open("w") as handle:
-            json.dump(_serialize(result), handle)
+        store_cache_payload(path, serialize_result(result))
     return result
 
 
 def sweep(workloads: Iterable[str], config: CoreConfig,
           warmup: Optional[int] = None, measure: Optional[int] = None,
           seed: int = 1234) -> Dict[str, SimResult]:
-    """Run one configuration over many workloads."""
-    return {name: run_cached(name, config, warmup, measure, seed)
-            for name in workloads}
+    """Run one configuration over many workloads via the active runner."""
+    from repro.analysis import runner as _runner
+    return _runner.current_runner().run_sweep(workloads, config,
+                                              warmup, measure, seed)
 
 
 def sweep_configs(workloads: Iterable[str],
@@ -128,7 +206,8 @@ def sweep_configs(workloads: Iterable[str],
                   warmup: Optional[int] = None,
                   measure: Optional[int] = None,
                   seed: int = 1234) -> Dict[str, Dict[str, SimResult]]:
-    """Run {config_name: config} over all workloads."""
+    """Run {config_name: config} over all workloads as one flat campaign."""
+    from repro.analysis import runner as _runner
     names: List[str] = list(workloads)
-    return {cfg_name: sweep(names, cfg, warmup, measure, seed)
-            for cfg_name, cfg in configs.items()}
+    return _runner.current_runner().run_sweep_configs(names, configs,
+                                                      warmup, measure, seed)

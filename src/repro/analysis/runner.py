@@ -1,0 +1,474 @@
+"""Process-parallel experiment runner with a crash-safe result store.
+
+Every paper experiment sweeps the same 16 workloads over many
+``CoreConfig``s. This module fans (workload, config, windows, seed) jobs
+across a pool of worker processes — ChampSim/Scarab-style campaign
+running — while the parent process owns the on-disk cache: it probes for
+hits before scheduling, treats corrupt entries as misses (recording the
+recovery in the run manifest), and commits results atomically via
+``tmp + os.replace`` so an interrupted run can never poison the cache.
+
+Guarantees:
+
+* **Determinism** — a simulation is a pure function of its job tuple, and
+  every result (fresh or cached) is round-tripped through the same
+  canonical JSON payload, so parallel runs produce results identical to
+  serial runs and byte-identical cache files.
+* **Per-job timeout** — each job runs in its own process; a job that
+  exceeds ``timeout`` seconds is terminated and retried.
+* **Bounded retry** — crashed / timed-out / raising jobs are retried up
+  to ``retries`` extra times before being reported as failures.
+* **Structured manifest** — a :class:`RunManifest` records per-job
+  status, wall time, cache hit/miss, attempts, and run-level events
+  (corrupt-entry recoveries, retries), and serialises to JSON.
+
+The module-level "active runner" lets high-level entry points (the
+``repro bench`` CLI) install one configured :class:`Runner` that all
+:func:`repro.analysis.harness.sweep` calls underneath share — benches
+need no code changes to run in parallel.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.config import CoreConfig
+from repro.core.simulator import SimResult, Simulator
+
+__all__ = [
+    "Job", "JobFailure", "RunManifest", "Runner", "RunnerError",
+    "current_runner", "make_job", "resolve_jobs", "using_runner",
+]
+
+_JOBS_ENV = "REPRO_BENCH_JOBS"
+
+#: seconds between scheduler polls of the worker pool
+_POLL_INTERVAL = 0.02
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count default: explicit value, else $REPRO_BENCH_JOBS, else 1."""
+    if jobs is None:
+        jobs = int(os.environ.get(_JOBS_ENV, "1") or "1")
+    return max(1, jobs)
+
+
+# --------------------------------------------------------------------------
+# Jobs
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation: a (workload, config, windows, seed) tuple."""
+
+    workload: str
+    config: CoreConfig
+    warmup: int
+    measure: int
+    seed: int = 1234
+
+    @property
+    def key(self) -> str:
+        from repro.analysis import harness
+        return harness.result_key(self.workload, self.config,
+                                  self.warmup, self.measure, self.seed)
+
+
+def make_job(workload: str, config: CoreConfig,
+             warmup: Optional[int] = None, measure: Optional[int] = None,
+             seed: int = 1234) -> Job:
+    """Build a :class:`Job`, defaulting windows to :func:`bench_windows`."""
+    from repro.analysis import harness
+    default_warmup, default_measure = harness.bench_windows()
+    return Job(workload, config,
+               default_warmup if warmup is None else warmup,
+               default_measure if measure is None else measure,
+               seed)
+
+
+# --------------------------------------------------------------------------
+# Manifest
+# --------------------------------------------------------------------------
+
+@dataclass
+class JobFailure:
+    key: str
+    workload: str
+    status: str         # "failed" | "timeout"
+    error: str
+
+
+@dataclass
+class RunManifest:
+    """Structured record of one campaign: job outcomes plus run events."""
+
+    meta: dict = field(default_factory=dict)
+    jobs: List[dict] = field(default_factory=list)
+    events: List[dict] = field(default_factory=list)
+    _started: float = field(default_factory=time.monotonic, repr=False)
+
+    def record_job(self, job: Job, status: str, *, wall_time: float = 0.0,
+                   cache_hit: bool = False, attempts: int = 0,
+                   error: Optional[str] = None) -> None:
+        entry = {
+            "key": job.key,
+            "workload": job.workload,
+            "warmup": job.warmup,
+            "measure": job.measure,
+            "seed": job.seed,
+            "status": status,
+            "wall_time_s": round(wall_time, 4),
+            "cache_hit": cache_hit,
+            "attempts": attempts,
+        }
+        if error:
+            entry["error"] = error
+        self.jobs.append(entry)
+
+    def record_event(self, kind: str, **detail) -> None:
+        self.events.append({"kind": kind, **detail})
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for entry in self.jobs:
+            out[entry["status"]] = out.get(entry["status"], 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": dict(self.meta),
+            "elapsed_s": round(time.monotonic() - self._started, 3),
+            "counts": self.counts(),
+            "jobs": list(self.jobs),
+            "events": list(self.events),
+        }
+
+    def save(self, path) -> Path:
+        """Atomically write the manifest JSON to ``path``."""
+        import json
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        with tmp.open("w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+
+class RunnerError(RuntimeError):
+    """Raised (in strict mode) when jobs remain failed after retries."""
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} job(s) failed:"]
+        for failure in self.failures[:8]:
+            first = failure.error.strip().splitlines()
+            lines.append(f"  [{failure.status}] {failure.key}: "
+                         f"{first[-1] if first else '?'}")
+        if len(self.failures) > 8:
+            lines.append(f"  ... and {len(self.failures) - 8} more")
+        super().__init__("\n".join(lines))
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+def _worker_main(conn, workload: str, config: CoreConfig,
+                 warmup: int, measure: int, seed: int) -> None:
+    """Run one simulation and ship the serialised payload back."""
+    try:
+        from repro.analysis import harness
+        result = Simulator(config, seed=seed).run(workload, warmup, measure)
+        conn.send(("ok", harness.serialize_result(result)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class _Task:
+    job: Job
+    attempts: int = 0
+    started: float = 0.0
+    first_started: float = 0.0
+
+
+# --------------------------------------------------------------------------
+# Runner
+# --------------------------------------------------------------------------
+
+class Runner:
+    """Fan jobs across worker processes with caching, timeout, and retry.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count (``None`` → ``$REPRO_BENCH_JOBS`` or 1).
+    timeout:
+        Per-job wall-clock limit in seconds (``None`` → unlimited).
+    retries:
+        Extra attempts after a crash/timeout/exception before a job is
+        declared failed.
+    use_cache:
+        Consult and populate the on-disk result cache.
+    progress:
+        Emit a live ``[done/total]`` line on stderr (``None`` → only when
+        stderr is a tty).
+    manifest:
+        A shared :class:`RunManifest`; one is created if not given.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 use_cache: bool = True,
+                 progress: Optional[bool] = None,
+                 manifest: Optional[RunManifest] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.use_cache = use_cache
+        self.manifest = manifest if manifest is not None else RunManifest()
+        self.progress = (sys.stderr.isatty() if progress is None
+                         else progress)
+
+    # -- high-level entry points ------------------------------------------
+
+    def run_sweep(self, workloads: Iterable[str], config: CoreConfig,
+                  warmup: Optional[int] = None,
+                  measure: Optional[int] = None,
+                  seed: int = 1234) -> Dict[str, SimResult]:
+        """Parallel equivalent of the harness' serial ``sweep``."""
+        names = list(workloads)
+        jobs = [make_job(name, config, warmup, measure, seed)
+                for name in names]
+        results = self.run(jobs)
+        return {name: results[job] for name, job in zip(names, jobs)}
+
+    def run_sweep_configs(self, workloads: Iterable[str],
+                          configs: Dict[str, CoreConfig],
+                          warmup: Optional[int] = None,
+                          measure: Optional[int] = None,
+                          seed: int = 1234
+                          ) -> Dict[str, Dict[str, SimResult]]:
+        """Run {config_name: config} x workloads as one flat campaign."""
+        names = list(workloads)
+        jobs = {cfg_name: [make_job(n, cfg, warmup, measure, seed)
+                           for n in names]
+                for cfg_name, cfg in configs.items()}
+        flat = [job for job_list in jobs.values() for job in job_list]
+        results = self.run(flat)
+        return {cfg_name: {name: results[job]
+                           for name, job in zip(names, job_list)}
+                for cfg_name, job_list in jobs.items()}
+
+    # -- core scheduler ---------------------------------------------------
+
+    def run(self, jobs: Sequence[Job],
+            strict: bool = True) -> Dict[Job, SimResult]:
+        """Execute ``jobs``; return ``{job: result}`` for completed jobs.
+
+        Identical jobs are executed once. In strict mode (the default) a
+        :class:`RunnerError` is raised after the whole campaign finishes
+        if any job still failed after its retries; with ``strict=False``
+        failed jobs are simply absent from the returned mapping (their
+        outcome lives in the manifest).
+        """
+        from repro.analysis import harness
+
+        unique: List[Job] = []
+        seen = set()
+        for job in jobs:
+            if job not in seen:
+                seen.add(job)
+                unique.append(job)
+
+        results: Dict[Job, SimResult] = {}
+        pending: List[_Task] = []
+        total = len(unique)
+        done = hits = ran = 0
+
+        for job in unique:
+            payload = None
+            if self.use_cache:
+                path = harness.entry_path(job.key)
+                payload, corrupt = harness.load_cache_payload(path)
+                if corrupt:
+                    self.manifest.record_event(
+                        "corrupt_cache_entry", key=job.key, path=str(path),
+                        action="treated as miss; re-running")
+            if payload is not None:
+                results[job] = harness.deserialize_result(payload)
+                self.manifest.record_job(job, "ok", cache_hit=True)
+                done += 1
+                hits += 1
+            else:
+                pending.append(_Task(job))
+        self._progress(done, total, hits, ran, len(pending), 0)
+
+        failures: List[JobFailure] = []
+        ctx = _mp_context()
+        running: List[Tuple[_Task, object, object]] = []  # task, proc, conn
+
+        def launch(task: _Task) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            job = task.job
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, job.workload, job.config,
+                      job.warmup, job.measure, job.seed),
+                daemon=True)
+            proc.start()
+            child_conn.close()
+            task.started = time.monotonic()
+            if not task.first_started:
+                task.first_started = task.started
+            task.attempts += 1
+            running.append((task, proc, parent_conn))
+
+        def fail_or_retry(task: _Task, status: str, error: str) -> None:
+            nonlocal done
+            if task.attempts <= self.retries:
+                self.manifest.record_event(
+                    "retry", key=task.job.key, attempt=task.attempts,
+                    status=status, error=error.strip().splitlines()[-1]
+                    if error.strip() else status)
+                pending.append(task)
+                return
+            done += 1
+            self.manifest.record_job(
+                task.job, status,
+                wall_time=time.monotonic() - task.first_started,
+                attempts=task.attempts, error=error)
+            failures.append(JobFailure(task.job.key, task.job.workload,
+                                       status, error))
+
+        def finish(task: _Task, payload: dict) -> None:
+            nonlocal done, ran
+            job = task.job
+            results[job] = harness.deserialize_result(payload)
+            if self.use_cache:
+                harness.store_cache_payload(harness.entry_path(job.key),
+                                            payload)
+            done += 1
+            ran += 1
+            self.manifest.record_job(
+                job, "ok", wall_time=time.monotonic() - task.first_started,
+                attempts=task.attempts)
+
+        try:
+            while pending or running:
+                while pending and len(running) < self.jobs:
+                    launch(pending.pop(0))
+                progressed = False
+                for entry in list(running):
+                    task, proc, conn = entry
+                    message = None
+                    if conn.poll(0):
+                        try:
+                            message = conn.recv()
+                        except (EOFError, OSError):
+                            message = None
+                    if message is not None:
+                        running.remove(entry)
+                        proc.join()
+                        conn.close()
+                        kind, payload = message
+                        if kind == "ok":
+                            finish(task, payload)
+                        else:
+                            fail_or_retry(task, "failed", payload)
+                        progressed = True
+                    elif (self.timeout is not None
+                          and time.monotonic() - task.started > self.timeout):
+                        running.remove(entry)
+                        proc.terminate()
+                        proc.join()
+                        conn.close()
+                        fail_or_retry(
+                            task, "timeout",
+                            f"timed out after {self.timeout:g}s")
+                        progressed = True
+                    elif not proc.is_alive():
+                        running.remove(entry)
+                        proc.join()
+                        conn.close()
+                        fail_or_retry(
+                            task, "failed",
+                            f"worker crashed (exitcode {proc.exitcode})")
+                        progressed = True
+                if progressed:
+                    self._progress(done, total, hits, ran,
+                                   len(pending), len(running))
+                else:
+                    time.sleep(_POLL_INTERVAL)
+        finally:
+            for _task, proc, conn in running:
+                proc.terminate()
+                proc.join()
+                conn.close()
+            self._progress_end()
+
+        if failures and strict:
+            raise RunnerError(failures)
+        return results
+
+    # -- progress line ----------------------------------------------------
+
+    def _progress(self, done: int, total: int, hits: int, ran: int,
+                  queued: int, active: int) -> None:
+        if not self.progress:
+            return
+        sys.stderr.write(
+            f"\r[{done}/{total}] cache-hits={hits} ran={ran} "
+            f"queued={queued} active={active}   ")
+        sys.stderr.flush()
+
+    def _progress_end(self) -> None:
+        if self.progress:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+# --------------------------------------------------------------------------
+# Active-runner context
+# --------------------------------------------------------------------------
+
+_ACTIVE_RUNNER: Optional[Runner] = None
+
+
+@contextmanager
+def using_runner(runner: Runner) -> Iterator[Runner]:
+    """Install ``runner`` as the one every harness sweep call routes to."""
+    global _ACTIVE_RUNNER
+    previous = _ACTIVE_RUNNER
+    _ACTIVE_RUNNER = runner
+    try:
+        yield runner
+    finally:
+        _ACTIVE_RUNNER = previous
+
+
+def current_runner() -> Runner:
+    """The installed runner, or a fresh env-configured default."""
+    if _ACTIVE_RUNNER is not None:
+        return _ACTIVE_RUNNER
+    return Runner()

@@ -5,14 +5,21 @@ Commands
 run       simulate one workload on one configuration, print metrics
 compare   baseline vs APF (or any two configurations) on workloads
 sweep     sweep one APF parameter (depth / buffers / scheme) on a workload
+bench     run paper benchmarks (parallel, cached, with a run manifest)
 list      list workloads and predefined configurations
 describe  print the Table III-style configuration summary
+
+run/compare/sweep share the on-disk result cache with the benches: their
+default warmup/measure windows come from ``harness.bench_windows()`` (the
+``REPRO_BENCH_SCALE`` scale), so ``python -m repro run`` hits the same
+cache entries as ``python -m repro bench``.
 
 Examples
 --------
     python -m repro run --workload leela --apf
     python -m repro compare --workloads leela,tc,mcf
     python -m repro sweep --workload deepsjeng --parameter depth
+    python -m repro bench fig02_mpki table4_bank_conflicts --jobs 4
     python -m repro describe --apf --scale paper
 """
 
@@ -21,8 +28,11 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
+from repro.analysis import harness
+from repro.analysis import runner as runner_mod
 from repro.analysis.metrics import geomean_speedup, speedups
 from repro.analysis.report import render_table
 from repro.common.config import (
@@ -33,7 +43,6 @@ from repro.common.config import (
     paper_core_config,
     small_core_config,
 )
-from repro.core.simulator import run_benchmark
 from repro.workloads.profiles import ALL_NAMES, GAP_NAMES, SPEC_NAMES
 
 __all__ = ["main", "build_parser", "config_from_args"]
@@ -46,11 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
-        p.add_argument("--warmup", type=int, default=30_000,
-                       help="warm-up instructions (default 30000)")
-        p.add_argument("--measure", type=int, default=20_000,
-                       help="measured instructions (default 20000)")
+        p.add_argument("--warmup", type=int, default=None,
+                       help="warm-up instructions (default: the bench "
+                            "window for $REPRO_BENCH_SCALE)")
+        p.add_argument("--measure", type=int, default=None,
+                       help="measured instructions (default: the bench "
+                            "window for $REPRO_BENCH_SCALE)")
         p.add_argument("--seed", type=int, default=1234)
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
         p.add_argument("--scale", choices=("small", "paper"),
                        default="small",
                        help="structure sizes (paper scale is slow)")
@@ -92,6 +105,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--parameter", required=True,
                          choices=("depth", "buffers", "scheme"))
     add_common(sweep_p)
+
+    bench_p = sub.add_parser(
+        "bench", help="run paper benchmarks (parallel, cached)")
+    bench_p.add_argument("names", nargs="*",
+                         help="benchmark names (default: all; see --list)")
+    bench_p.add_argument("--list", action="store_true", dest="list_benches",
+                         help="list available benchmarks and exit")
+    bench_p.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: "
+                              "$REPRO_BENCH_JOBS or 1)")
+    bench_p.add_argument("--timeout", type=float, default=None,
+                         help="per-simulation timeout in seconds")
+    bench_p.add_argument("--retries", type=int, default=1,
+                         help="retries per failed/timed-out job (default 1)")
+    bench_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk result cache")
+    bench_p.add_argument("--manifest", default=None,
+                         help="run-manifest JSON path (default: "
+                              "benchmarks/results/run_manifest.json)")
 
     sub.add_parser("list", help="list workloads and configurations")
 
@@ -151,11 +183,17 @@ def _workload_list(spec: str) -> List[str]:
     return names
 
 
+def _run_one(workload: str, config: CoreConfig, args):
+    """One cached simulation with the CLI's window/seed/cache options."""
+    return harness.run_cached(workload, config,
+                              warmup=args.warmup, measure=args.measure,
+                              seed=args.seed,
+                              use_cache=not args.no_cache)
+
+
 def _cmd_run(args) -> int:
     config = config_from_args(args)
-    result = run_benchmark(args.workload, config=config,
-                           warmup=args.warmup, measure=args.measure,
-                           seed=args.seed)
+    result = _run_one(args.workload, config, args)
     rows = [
         ("instructions", result.instructions),
         ("cycles", result.cycles),
@@ -186,12 +224,8 @@ def _cmd_compare(args) -> int:
     base = {}
     apf = {}
     for name in names:
-        base[name] = run_benchmark(name, config=base_cfg,
-                                   warmup=args.warmup,
-                                   measure=args.measure, seed=args.seed)
-        apf[name] = run_benchmark(name, config=apf_cfg,
-                                  warmup=args.warmup,
-                                  measure=args.measure, seed=args.seed)
+        base[name] = _run_one(name, base_cfg, args)
+        apf[name] = _run_one(name, apf_cfg, args)
     ratio = speedups(apf, base)
     rows = [(n, f"{base[n].ipc:.3f}", f"{apf[n].ipc:.3f}",
              f"{ratio[n]:.3f}", f"{base[n].branch_mpki:.2f}")
@@ -207,9 +241,7 @@ def _cmd_compare(args) -> int:
 
 def _cmd_sweep(args) -> int:
     base_cfg = _base_config(args)
-    base = run_benchmark(args.workload, config=base_cfg,
-                         warmup=args.warmup, measure=args.measure,
-                         seed=args.seed)
+    base = _run_one(args.workload, base_cfg, args)
     points = {
         "depth": [("3", dict(pipeline_depth=3, buffer_capacity_uops=24)),
                   ("7", dict(pipeline_depth=7, buffer_capacity_uops=56)),
@@ -225,15 +257,76 @@ def _cmd_sweep(args) -> int:
     rows = []
     for label, overrides in points:
         cfg = base_cfg.with_apf(**overrides)
-        result = run_benchmark(args.workload, config=cfg,
-                               warmup=args.warmup, measure=args.measure,
-                               seed=args.seed)
+        result = _run_one(args.workload, cfg, args)
         rows.append((label, f"{result.ipc:.3f}",
                      f"{result.ipc / base.ipc:.3f}"))
     print(render_table([args.parameter, "IPC", "speedup"], rows,
                        title=f"{args.workload}: APF {args.parameter} sweep "
                              f"(baseline IPC {base.ipc:.3f})"))
     return 0
+
+
+def _benchmarks_dir() -> Path:
+    return Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load_bench_registry() -> Dict[str, Callable[[], str]]:
+    bench_dir = _benchmarks_dir()
+    if not (bench_dir / "bench_common.py").exists():
+        raise SystemExit(f"benchmarks directory not found at {bench_dir}")
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    import bench_common
+    return bench_common.load_benchmarks()
+
+
+def _cmd_bench(args) -> int:
+    registry = _load_bench_registry()
+    if args.list_benches:
+        rows = [(name, fn.__doc__.strip().splitlines()[0]
+                 if fn.__doc__ else "")
+                for name, fn in sorted(registry.items())]
+        print(render_table(["benchmark", "reproduces"], rows,
+                           title="available benchmarks"))
+        return 0
+    names = args.names or sorted(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {', '.join(unknown)} "
+                         f"(try: repro bench --list)")
+
+    manifest = runner_mod.RunManifest(meta={
+        "benchmarks": names,
+        "jobs": runner_mod.resolve_jobs(args.jobs),
+        "timeout_s": args.timeout,
+        "retries": args.retries,
+        "use_cache": not args.no_cache,
+        "scale": harness.bench_windows(),
+        "cache_schema_version": harness.CACHE_SCHEMA_VERSION,
+    })
+    runner = runner_mod.Runner(jobs=args.jobs, timeout=args.timeout,
+                               retries=args.retries,
+                               use_cache=not args.no_cache,
+                               manifest=manifest)
+    failed: List[str] = []
+    with runner_mod.using_runner(runner):
+        for name in names:
+            print(f"== {name} ==", file=sys.stderr)
+            try:
+                registry[name]()
+            except runner_mod.RunnerError as exc:
+                failed.append(name)
+                print(f"bench {name} FAILED:\n{exc}", file=sys.stderr)
+    manifest_path = (Path(args.manifest) if args.manifest
+                     else _benchmarks_dir() / "results"
+                     / "run_manifest.json")
+    manifest.save(manifest_path)
+    counts = manifest.counts()
+    print(f"\n{len(names) - len(failed)}/{len(names)} benchmarks ok; "
+          f"job outcomes {counts}; manifest: {manifest_path}")
+    if failed:
+        print(f"failed benchmarks: {', '.join(failed)}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_list(_args) -> int:
@@ -271,6 +364,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "list": _cmd_list,
     "characterize": _cmd_characterize,
     "describe": _cmd_describe,

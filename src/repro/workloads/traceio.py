@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
 from pathlib import Path
 from typing import Tuple
 
@@ -19,9 +20,14 @@ from repro.isa.uop import StaticUop
 from repro.workloads.program import Program
 from repro.workloads.trace import DynamicTrace
 
-__all__ = ["save_trace", "load_trace", "TRACE_FORMAT_VERSION"]
+__all__ = ["save_trace", "load_trace", "TraceBundleError",
+           "TRACE_FORMAT_VERSION"]
 
 TRACE_FORMAT_VERSION = 1
+
+
+class TraceBundleError(ValueError):
+    """A trace bundle is unreadable, truncated, or malformed."""
 
 
 def _program_payload(program: Program) -> dict:
@@ -78,7 +84,12 @@ def _trace_from_payload(payload: dict, program: Program) -> DynamicTrace:
 
 
 def save_trace(path, program: Program, trace: DynamicTrace) -> None:
-    """Write a compressed (program, trace) bundle to ``path``."""
+    """Atomically write a compressed (program, trace) bundle to ``path``.
+
+    The bundle is written to a temp file in the same directory and moved
+    into place with ``os.replace``, so an interrupted save can never
+    leave a truncated bundle where a reader expects a complete one.
+    """
     bundle = {
         "version": TRACE_FORMAT_VERSION,
         "program": _program_payload(program),
@@ -86,17 +97,43 @@ def save_trace(path, program: Program, trace: DynamicTrace) -> None:
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with gzip.open(path, "wt", compresslevel=6) as handle:
-        json.dump(bundle, handle)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with gzip.open(tmp, "wt", compresslevel=6) as handle:
+            json.dump(bundle, handle)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
 def load_trace(path) -> Tuple[Program, DynamicTrace]:
-    """Read a bundle written by :func:`save_trace`."""
-    with gzip.open(Path(path), "rt") as handle:
-        bundle = json.load(handle)
+    """Read a bundle written by :func:`save_trace`.
+
+    Raises :class:`TraceBundleError` (a ``ValueError``) on truncated,
+    non-gzip, non-JSON, wrong-version, or structurally malformed bundles.
+    """
+    path = Path(path)
+    try:
+        with gzip.open(path, "rt") as handle:
+            bundle = json.load(handle)
+    except FileNotFoundError:
+        raise
+    except (OSError, EOFError, UnicodeDecodeError,
+            json.JSONDecodeError) as exc:
+        raise TraceBundleError(
+            f"unreadable or truncated trace bundle {path}: {exc}") from exc
+    if not isinstance(bundle, dict):
+        raise TraceBundleError(f"malformed trace bundle {path}: "
+                               f"expected a JSON object")
     version = bundle.get("version")
     if version != TRACE_FORMAT_VERSION:
-        raise ValueError(f"unsupported trace format version {version!r}")
-    program = _program_from_payload(bundle["program"])
-    trace = _trace_from_payload(bundle["trace"], program)
+        raise TraceBundleError(
+            f"unsupported trace format version {version!r}")
+    try:
+        program = _program_from_payload(bundle["program"])
+        trace = _trace_from_payload(bundle["trace"], program)
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise TraceBundleError(
+            f"malformed trace bundle {path}: {exc!r}") from exc
     return program, trace

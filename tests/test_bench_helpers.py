@@ -1,13 +1,21 @@
-"""Tests for the benchmark harness helper functions (pure logic only —
-the simulations themselves are exercised by the benches)."""
+"""Tests for the benchmark harness helpers: configs, the CLI registry,
+and the crash-safe result cache (atomic writes, corrupt-entry recovery,
+canonical config signatures)."""
 
+import dataclasses
+import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parents[1] / "benchmarks"))
 
 import bench_common  # noqa: E402
-from repro.common.config import AlternatePathMode, FetchScheme  # noqa: E402
+from repro.analysis import harness  # noqa: E402
+from repro.common.config import (  # noqa: E402
+    AlternatePathMode,
+    FetchScheme,
+    small_core_config,
+)
 
 
 class TestConfigs:
@@ -59,6 +67,93 @@ class TestConfigs:
         bench_common.save_result("unit", "hello table")
         assert (tmp_path / "unit.txt").read_text() == "hello table\n"
         assert "hello table" in capsys.readouterr().out
+
+
+class TestBenchRegistry:
+    def test_every_bench_module_registers_an_entry(self):
+        registry = bench_common.load_benchmarks()
+        modules = {p.stem for p in
+                   (Path(__file__).parents[1] / "benchmarks")
+                   .glob("bench_*.py")} - {"bench_common"}
+        assert len(registry) == len(modules)
+        assert "fig08_main_result" in registry
+        assert "table4_bank_conflicts" in registry
+        assert all(callable(fn) for fn in registry.values())
+
+
+class TestCacheIntegrity:
+    def test_run_cached_roundtrip_and_corrupt_recovery(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cfg = small_core_config()
+        first = harness.run_cached("xz", cfg, warmup=400, measure=400)
+        [entry] = list(tmp_path.glob("*.json"))
+        intact = entry.read_bytes()
+
+        second = harness.run_cached("xz", cfg, warmup=400, measure=400)
+        assert harness.serialize_result(second) \
+            == harness.serialize_result(first)
+
+        # a truncated entry is a miss: re-run and overwrite, don't raise
+        entry.write_bytes(intact[:19])
+        recovered = harness.run_cached("xz", cfg, warmup=400, measure=400)
+        assert harness.serialize_result(recovered) \
+            == harness.serialize_result(first)
+        assert entry.read_bytes() == intact
+
+    def test_cache_write_is_atomic_no_temp_left(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        harness.run_cached("xz", small_core_config(),
+                           warmup=400, measure=400)
+        assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_load_cache_payload_classifies_misses(self, tmp_path):
+        missing = tmp_path / "missing.json"
+        assert harness.load_cache_payload(missing) == (None, False)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert harness.load_cache_payload(bad) == (None, True)
+        wrong_shape = tmp_path / "shape.json"
+        wrong_shape.write_text(json.dumps([1, 2, 3]))
+        assert harness.load_cache_payload(wrong_shape) == (None, True)
+
+    def test_keys_carry_schema_version_prefix(self):
+        key = harness.result_key("xz", small_core_config(), 1, 2, 3)
+        assert key.startswith(f"v{harness.CACHE_SCHEMA_VERSION}-xz-1-2-3-")
+
+
+class TestConfigSignature:
+    def test_signature_survives_field_reordering(self):
+        @dataclasses.dataclass(frozen=True)
+        class Original:
+            depth: int = 13
+            buffers: int = 4
+
+        @dataclasses.dataclass(frozen=True)
+        class Reordered:
+            buffers: int = 4
+            depth: int = 13
+
+        assert harness.config_signature(Original()) \
+            == harness.config_signature(Reordered())
+        # repr-based hashing (the old bug) would differ here
+        assert repr(Original()) != repr(Reordered())
+
+    def test_signature_changes_with_any_field_value(self):
+        base = small_core_config()
+        assert harness.config_signature(base) \
+            != harness.config_signature(base.with_apf())
+        assert harness.config_signature(base) \
+            != harness.config_signature(
+                dataclasses.replace(base, ras_entries=33))
+
+    def test_signature_ignores_repr_formatting(self):
+        cfg = small_core_config()
+        expected = __import__("hashlib").sha256(json.dumps(
+            dataclasses.asdict(cfg), sort_keys=True,
+            separators=(",", ":")).encode()).hexdigest()[:20]
+        assert harness.config_signature(cfg) == expected
 
 
 class TestDepthSweepHelpers:

@@ -2,8 +2,16 @@
 
 import pytest
 
+from repro.analysis import harness
 from repro.cli import build_parser, config_from_args, main
 from repro.common.config import AlternatePathMode, FetchScheme
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI-triggered cache writes out of the repo's benchmark cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+    return tmp_path
 
 
 def parse(argv):
@@ -19,6 +27,31 @@ class TestParser:
         args = parse(["run"])
         assert args.workload == "leela"
         assert not args.apf
+
+    def test_windows_default_to_bench_windows(self, monkeypatch):
+        # None means "use harness.bench_windows()" so `repro run` and the
+        # benches hit the same cache entries by default
+        args = parse(["run"])
+        assert args.warmup is None and args.measure is None
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert harness.bench_windows() == (2_000, 1_500)
+
+    def test_bench_defaults(self):
+        args = parse(["bench"])
+        assert args.names == []
+        assert args.jobs is None
+        assert args.timeout is None
+        assert args.retries == 1
+        assert not args.no_cache
+        assert not args.list_benches
+
+    def test_bench_flags(self):
+        args = parse(["bench", "fig02_mpki", "table3_config",
+                      "--jobs", "4", "--timeout", "30", "--no-cache"])
+        assert args.names == ["fig02_mpki", "table3_config"]
+        assert args.jobs == 4
+        assert args.timeout == 30.0
+        assert args.no_cache
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
@@ -105,3 +138,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "taken density" in out
         assert "branch mix" in out
+
+    def test_run_shares_cache_with_benches(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert main(["run", "--workload", "xz"]) == 0
+        warmup, measure = harness.bench_windows()
+        [entry] = list(tmp_path.glob("*.json"))
+        assert entry.name.startswith(
+            f"v{harness.CACHE_SCHEMA_VERSION}-xz-{warmup}-{measure}-")
+
+    def test_run_no_cache_writes_nothing(self, tmp_path, monkeypatch,
+                                         capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "--workload", "xz", "--warmup", "500",
+                     "--measure", "500", "--no-cache"]) == 0
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08_main_result" in out
+        assert "table4_bank_conflicts" in out
+
+    def test_bench_rejects_unknown_name(self):
+        with pytest.raises(SystemExit, match="unknown benchmarks"):
+            main(["bench", "nonexistent_bench"])
+
+    def test_bench_runs_sim_free_benchmark(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        code = main(["bench", "table3_config",
+                     "--manifest", str(manifest)])
+        assert code == 0
+        assert "Table III" in capsys.readouterr().out
+        assert manifest.exists()
+        import json
+        payload = json.loads(manifest.read_text())
+        assert payload["meta"]["benchmarks"] == ["table3_config"]

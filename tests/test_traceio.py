@@ -8,6 +8,7 @@ from repro.core.simulator import Simulator
 from repro.workloads.profiles import build_workload, workload_trace
 from repro.workloads.traceio import (
     TRACE_FORMAT_VERSION,
+    TraceBundleError,
     load_trace,
     save_trace,
 )
@@ -69,6 +70,46 @@ class TestRoundTrip:
             json.dump({"version": TRACE_FORMAT_VERSION + 99}, handle)
         with pytest.raises(ValueError, match="version"):
             load_trace(path)
+
+    def test_save_is_atomic_no_temp_left(self, tmp_path):
+        program = build_workload("xz")
+        trace = workload_trace("xz", 2_000)
+        path = tmp_path / "xz.trace.gz"
+        save_trace(path, program, trace)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_truncated_bundle_raises_trace_bundle_error(self, tmp_path):
+        program = build_workload("xz")
+        trace = workload_trace("xz", 2_000)
+        path = tmp_path / "xz.trace.gz"
+        save_trace(path, program, trace)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(TraceBundleError):
+            load_trace(path)
+
+    def test_non_gzip_garbage_raises_trace_bundle_error(self, tmp_path):
+        path = tmp_path / "junk.trace.gz"
+        path.write_bytes(b"this is not gzip at all")
+        with pytest.raises(TraceBundleError):
+            load_trace(path)
+
+    def test_structurally_malformed_bundle_raises(self, tmp_path):
+        import gzip
+        import json
+        path = tmp_path / "hollow.trace.gz"
+        with gzip.open(path, "wt") as handle:
+            json.dump({"version": TRACE_FORMAT_VERSION}, handle)
+        with pytest.raises(TraceBundleError, match="malformed"):
+            load_trace(path)
+
+    def test_error_is_a_value_error_for_old_callers(self):
+        assert issubclass(TraceBundleError, ValueError)
+
+    def test_missing_file_still_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "absent.trace.gz")
 
     def test_file_is_compressed_and_small(self, tmp_path):
         program = build_workload("xz")
