@@ -1,0 +1,110 @@
+"""Sampled-vs-dense IPC accuracy across the workload suite.
+
+Validation for the ``repro.sampling`` subsystem rather than a paper
+figure: for every workload, a dense detailed run over an expanded trace
+(4x the scale's warmup+measure window) is compared against an interval-
+sampled run over the *same* trace. The sampled run must land within its
+own 95% confidence interval of the dense IPC, within a +-3% error band,
+while spending fewer detailed cycles than the dense run.
+
+The dense reference is the full expanded trace (not the standard
+windowed run) because the workloads are strongly non-stationary —
+predictor learning curves and program phases move IPC by tens of percent
+along the trace — so only a same-span comparison isolates the sampling
+error itself.
+"""
+
+from bench_common import baseline_config, register_bench, save_result
+from repro.analysis.harness import bench_windows, sweep, using_sampling
+from repro.analysis.report import render_table
+from repro.sampling import SamplingPlan
+from repro.workloads.profiles import ALL_NAMES
+
+#: sampled trace length as a multiple of the dense warmup+measure window
+EXPANSION = 4
+
+#: acceptance band for |sampled IPC - dense IPC| / dense IPC
+ERROR_BUDGET = 0.03
+
+
+def accuracy_plan(window=None):
+    """The sampling plan the accuracy comparison uses for a dense window
+    of ``window`` instructions (default: the active scale's)."""
+    if window is None:
+        warmup, measure = bench_windows()
+        window = warmup + measure
+    return SamplingPlan.for_dense_window(window, expansion=EXPANSION)
+
+
+def accuracy_rows(window=None, workloads=ALL_NAMES, config=None,
+                  seed=1234):
+    """Per-workload dense-vs-sampled comparison over one expanded trace.
+
+    Returns ``(plan, rows)`` where each row is a dict with the dense and
+    sampled IPC, the relative error, the CI bound, and the detailed-cycle
+    counts backing the "cheaper than dense" claim.
+    """
+    if config is None:
+        config = baseline_config()
+    plan = accuracy_plan(window)
+    total = plan.total_instructions
+    # force dense even under an ambient --sampling plan: this bench IS
+    # the dense-vs-sampled comparison
+    with using_sampling(None):
+        dense = sweep(workloads, config, warmup=0, measure=total,
+                      seed=seed)
+    sampled = sweep(workloads, config, seed=seed, sampling=plan)
+    rows = []
+    for name in workloads:
+        d, s = dense[name], sampled[name]
+        error = (s.ipc - d.ipc) / d.ipc if d.ipc else 0.0
+        rows.append({
+            "workload": name,
+            "dense_ipc": d.ipc,
+            "sampled_ipc": s.ipc,
+            "error": error,
+            "ci_half_width": s.ipc_ci.half_width if s.ipc_ci else 0.0,
+            "within_ci": bool(s.ipc_ci and s.ipc_ci.contains(d.ipc)),
+            "intervals": s.counters.get("sampling_intervals", 0),
+            "dense_cycles": d.cycles,
+            "detailed_cycles": s.counters.get("sampling_detailed_cycles",
+                                              s.cycles),
+            "detailed_instructions": s.counters.get(
+                "sampling_detailed_instructions", 0),
+        })
+    return plan, rows
+
+
+def render(plan, rows) -> str:
+    table = [(r["workload"], f"{r['dense_ipc']:.3f}",
+              f"{r['sampled_ipc']:.3f}", f"{100 * r['error']:+.2f}%",
+              f"±{r['ci_half_width']:.3f}",
+              "yes" if r["within_ci"] else "NO",
+              f"{r['detailed_cycles'] / max(1, r['dense_cycles']):.2f}")
+             for r in rows]
+    worst = max((abs(r["error"]) for r in rows), default=0.0)
+    title = (f"Sampling accuracy: {plan.describe()}, "
+             f"{plan.total_instructions} instructions/workload "
+             f"(worst error {100 * worst:.2f}%)")
+    return render_table(
+        ["workload", "dense IPC", "sampled IPC", "error", "95% CI",
+         "in CI", "detail/dense cycles"], table, title=title)
+
+
+@register_bench("sampling_accuracy")
+def run() -> str:
+    """Validation: sampled IPC vs dense IPC on every workload."""
+    plan, rows = accuracy_rows()
+    text = render(plan, rows)
+    save_result("sampling_accuracy", text)
+    return text
+
+
+def test_sampling_accuracy(benchmark):
+    plan, rows = benchmark.pedantic(accuracy_rows, rounds=1, iterations=1)
+    save_result("sampling_accuracy", render(plan, rows))
+    assert plan.intervals >= 8
+    for row in rows:
+        assert abs(row["error"]) <= ERROR_BUDGET, row
+        assert row["within_ci"], row
+        assert row["detailed_cycles"] < row["dense_cycles"], row

@@ -33,18 +33,20 @@ import dataclasses
 import hashlib
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.config import CoreConfig
-from repro.common.statistics import Histogram
+from repro.common.statistics import ConfidenceInterval, Histogram
 from repro.core.simulator import SimResult, Simulator
+from repro.sampling import SamplingPlan, SamplingSimulator
 
 __all__ = ["CACHE_SCHEMA_VERSION", "bench_windows", "cache_path",
-           "config_signature", "deserialize_result", "entry_path",
-           "load_cache_payload", "result_key", "run_cached",
+           "config_signature", "current_sampling", "deserialize_result",
+           "entry_path", "load_cache_payload", "result_key", "run_cached",
            "serialize_result", "store_cache_payload", "sweep",
-           "sweep_configs"]
+           "sweep_configs", "using_sampling"]
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
 _SCALE_ENV = "REPRO_BENCH_SCALE"
@@ -94,9 +96,46 @@ def config_signature(config) -> str:
 
 
 def result_key(workload: str, config: CoreConfig, warmup: int,
-               measure: int, seed: int) -> str:
+               measure: int, seed: int,
+               sampling: Optional[SamplingPlan] = None) -> str:
+    """Cache key for one simulation.
+
+    Sampled runs are keyed by the plan (which fixes the trace length and
+    every window size) instead of the dense warmup/measure pair, so dense
+    keys — and therefore every pre-existing cache entry — are unchanged.
+    """
+    if sampling is not None:
+        return (f"v{CACHE_SCHEMA_VERSION}-{workload}-"
+                f"{sampling.cache_tag()}-{seed}-{config_signature(config)}")
     return (f"v{CACHE_SCHEMA_VERSION}-{workload}-{warmup}-{measure}-"
             f"{seed}-{config_signature(config)}")
+
+
+# --------------------------------------------------------------------------
+# Ambient sampling plan
+# --------------------------------------------------------------------------
+
+_ACTIVE_SAMPLING: Optional[SamplingPlan] = None
+
+
+@contextmanager
+def using_sampling(plan: Optional[SamplingPlan]) -> Iterator[
+        Optional[SamplingPlan]]:
+    """Make ``plan`` the default for every :func:`run_cached`/:func:`sweep`
+    call in the block (``None`` is a no-op). ``repro bench --sampling``
+    uses this so unmodified benches run in sampled mode."""
+    global _ACTIVE_SAMPLING
+    previous = _ACTIVE_SAMPLING
+    _ACTIVE_SAMPLING = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE_SAMPLING = previous
+
+
+def current_sampling() -> Optional[SamplingPlan]:
+    """The ambient sampling plan, or ``None`` for dense simulation."""
+    return _ACTIVE_SAMPLING
 
 
 def entry_path(key: str) -> Path:
@@ -104,7 +143,7 @@ def entry_path(key: str) -> Path:
 
 
 def serialize_result(result: SimResult) -> dict:
-    return {
+    payload = {
         "workload": result.workload,
         "instructions": result.instructions,
         "cycles": result.cycles,
@@ -116,13 +155,30 @@ def serialize_result(result: SimResult) -> dict:
         "refill_saved": {str(k): v
                          for k, v in result.refill_saved.buckets.items()},
     }
+    if result.sampled:
+        payload["interval_ipcs"] = list(result.interval_ipcs)
+    if result.ipc_ci is not None:
+        payload["ipc_ci"] = {
+            "mean": result.ipc_ci.mean,
+            "half_width": result.ipc_ci.half_width,
+            "confidence": result.ipc_ci.confidence,
+            "samples": result.ipc_ci.samples,
+        }
+    return payload
 
 
 def deserialize_result(payload: dict) -> SimResult:
     hist = Histogram()
     for bucket, count in payload.get("refill_saved", {}).items():
         hist.add(int(bucket), count)
+    ci = None
+    if "ipc_ci" in payload:
+        raw = payload["ipc_ci"]
+        ci = ConfidenceInterval(raw["mean"], raw["half_width"],
+                                raw["confidence"], raw["samples"])
     return SimResult(
+        interval_ipcs=list(payload.get("interval_ipcs", [])),
+        ipc_ci=ci,
         workload=payload["workload"],
         instructions=payload["instructions"],
         cycles=payload["cycles"],
@@ -176,17 +232,30 @@ def store_cache_payload(path: Path, payload: dict) -> None:
 
 def run_cached(workload: str, config: CoreConfig,
                warmup: Optional[int] = None, measure: Optional[int] = None,
-               seed: int = 1234, use_cache: bool = True) -> SimResult:
-    """Run one simulation, consulting the on-disk cache first."""
+               seed: int = 1234, use_cache: bool = True,
+               sampling: Optional[SamplingPlan] = None) -> SimResult:
+    """Run one simulation, consulting the on-disk cache first.
+
+    With a ``sampling`` plan (explicit, or ambient via
+    :func:`using_sampling`) the run goes through the interval-sampling
+    simulator instead of a dense window; dense warmup/measure are then
+    ignored and the cache is keyed by the plan.
+    """
+    if sampling is None:
+        sampling = current_sampling()
     default_warmup, default_measure = bench_windows()
     warmup = default_warmup if warmup is None else warmup
     measure = default_measure if measure is None else measure
-    path = entry_path(result_key(workload, config, warmup, measure, seed))
+    path = entry_path(result_key(workload, config, warmup, measure, seed,
+                                 sampling))
     if use_cache:
         payload, _corrupt = load_cache_payload(path)
         if payload is not None:
             return deserialize_result(payload)
-    result = Simulator(config, seed=seed).run(workload, warmup, measure)
+    if sampling is not None:
+        result = SamplingSimulator(config, seed=seed).run(workload, sampling)
+    else:
+        result = Simulator(config, seed=seed).run(workload, warmup, measure)
     if use_cache:
         store_cache_payload(path, serialize_result(result))
     return result
@@ -194,20 +263,29 @@ def run_cached(workload: str, config: CoreConfig,
 
 def sweep(workloads: Iterable[str], config: CoreConfig,
           warmup: Optional[int] = None, measure: Optional[int] = None,
-          seed: int = 1234) -> Dict[str, SimResult]:
+          seed: int = 1234,
+          sampling: Optional[SamplingPlan] = None) -> Dict[str, SimResult]:
     """Run one configuration over many workloads via the active runner."""
     from repro.analysis import runner as _runner
+    if sampling is None:
+        sampling = current_sampling()
     return _runner.current_runner().run_sweep(workloads, config,
-                                              warmup, measure, seed)
+                                              warmup, measure, seed,
+                                              sampling=sampling)
 
 
 def sweep_configs(workloads: Iterable[str],
                   configs: Dict[str, CoreConfig],
                   warmup: Optional[int] = None,
                   measure: Optional[int] = None,
-                  seed: int = 1234) -> Dict[str, Dict[str, SimResult]]:
+                  seed: int = 1234,
+                  sampling: Optional[SamplingPlan] = None
+                  ) -> Dict[str, Dict[str, SimResult]]:
     """Run {config_name: config} over all workloads as one flat campaign."""
     from repro.analysis import runner as _runner
+    if sampling is None:
+        sampling = current_sampling()
     names: List[str] = list(workloads)
     return _runner.current_runner().run_sweep_configs(names, configs,
-                                                      warmup, measure, seed)
+                                                      warmup, measure, seed,
+                                                      sampling=sampling)

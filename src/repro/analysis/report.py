@@ -4,11 +4,21 @@ from __future__ import annotations
 
 from typing import List, Mapping, Sequence
 
-__all__ = ["render_table", "render_series", "format_pct"]
+__all__ = ["render_table", "render_series", "format_pct",
+           "summarize_histogram"]
 
 
 def format_pct(value: float, digits: int = 1) -> str:
     return f"{100.0 * value:.{digits}f}%"
+
+
+def summarize_histogram(hist) -> str:
+    """Mean/p50/p90 summary of a :class:`Histogram` — a distribution like
+    refill savings is skewed enough that the mean alone misleads."""
+    if not hist.total():
+        return "-"
+    return (f"mean {hist.mean():.1f}  p50 {hist.percentile(50):.0f}  "
+            f"p90 {hist.percentile(90):.0f}")
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence],

@@ -42,6 +42,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.config import CoreConfig
 from repro.core.simulator import SimResult, Simulator
+from repro.sampling import SamplingPlan, SamplingSimulator
 
 __all__ = [
     "Job", "JobFailure", "RunManifest", "Runner", "RunnerError",
@@ -67,31 +68,35 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 @dataclass(frozen=True)
 class Job:
-    """One simulation: a (workload, config, windows, seed) tuple."""
+    """One simulation: a (workload, config, windows, seed) tuple, plus an
+    optional sampling plan (which supersedes the dense windows)."""
 
     workload: str
     config: CoreConfig
     warmup: int
     measure: int
     seed: int = 1234
+    sampling: Optional[SamplingPlan] = None
 
     @property
     def key(self) -> str:
         from repro.analysis import harness
         return harness.result_key(self.workload, self.config,
-                                  self.warmup, self.measure, self.seed)
+                                  self.warmup, self.measure, self.seed,
+                                  self.sampling)
 
 
 def make_job(workload: str, config: CoreConfig,
              warmup: Optional[int] = None, measure: Optional[int] = None,
-             seed: int = 1234) -> Job:
+             seed: int = 1234,
+             sampling: Optional[SamplingPlan] = None) -> Job:
     """Build a :class:`Job`, defaulting windows to :func:`bench_windows`."""
     from repro.analysis import harness
     default_warmup, default_measure = harness.bench_windows()
     return Job(workload, config,
                default_warmup if warmup is None else warmup,
                default_measure if measure is None else measure,
-               seed)
+               seed, sampling)
 
 
 # --------------------------------------------------------------------------
@@ -117,7 +122,8 @@ class RunManifest:
 
     def record_job(self, job: Job, status: str, *, wall_time: float = 0.0,
                    cache_hit: bool = False, attempts: int = 0,
-                   error: Optional[str] = None) -> None:
+                   error: Optional[str] = None,
+                   result_payload: Optional[dict] = None) -> None:
         entry = {
             "key": job.key,
             "workload": job.workload,
@@ -129,6 +135,15 @@ class RunManifest:
             "cache_hit": cache_hit,
             "attempts": attempts,
         }
+        if job.sampling is not None:
+            entry["sampling"] = job.sampling.cache_tag()
+            if result_payload is not None:
+                # per-interval stats so a campaign's statistical quality
+                # is auditable from the manifest alone
+                entry["interval_ipcs"] = list(
+                    result_payload.get("interval_ipcs", []))
+                if "ipc_ci" in result_payload:
+                    entry["ipc_ci"] = dict(result_payload["ipc_ci"])
         if error:
             entry["error"] = error
         self.jobs.append(entry)
@@ -183,11 +198,17 @@ class RunnerError(RuntimeError):
 # --------------------------------------------------------------------------
 
 def _worker_main(conn, workload: str, config: CoreConfig,
-                 warmup: int, measure: int, seed: int) -> None:
+                 warmup: int, measure: int, seed: int,
+                 sampling: Optional[SamplingPlan] = None) -> None:
     """Run one simulation and ship the serialised payload back."""
     try:
         from repro.analysis import harness
-        result = Simulator(config, seed=seed).run(workload, warmup, measure)
+        if sampling is not None:
+            result = SamplingSimulator(config, seed=seed).run(workload,
+                                                              sampling)
+        else:
+            result = Simulator(config, seed=seed).run(workload, warmup,
+                                                      measure)
         conn.send(("ok", harness.serialize_result(result)))
     except BaseException:
         try:
@@ -255,10 +276,12 @@ class Runner:
     def run_sweep(self, workloads: Iterable[str], config: CoreConfig,
                   warmup: Optional[int] = None,
                   measure: Optional[int] = None,
-                  seed: int = 1234) -> Dict[str, SimResult]:
+                  seed: int = 1234,
+                  sampling: Optional[SamplingPlan] = None
+                  ) -> Dict[str, SimResult]:
         """Parallel equivalent of the harness' serial ``sweep``."""
         names = list(workloads)
-        jobs = [make_job(name, config, warmup, measure, seed)
+        jobs = [make_job(name, config, warmup, measure, seed, sampling)
                 for name in names]
         results = self.run(jobs)
         return {name: results[job] for name, job in zip(names, jobs)}
@@ -267,11 +290,12 @@ class Runner:
                           configs: Dict[str, CoreConfig],
                           warmup: Optional[int] = None,
                           measure: Optional[int] = None,
-                          seed: int = 1234
+                          seed: int = 1234,
+                          sampling: Optional[SamplingPlan] = None
                           ) -> Dict[str, Dict[str, SimResult]]:
         """Run {config_name: config} x workloads as one flat campaign."""
         names = list(workloads)
-        jobs = {cfg_name: [make_job(n, cfg, warmup, measure, seed)
+        jobs = {cfg_name: [make_job(n, cfg, warmup, measure, seed, sampling)
                            for n in names]
                 for cfg_name, cfg in configs.items()}
         flat = [job for job_list in jobs.values() for job in job_list]
@@ -317,7 +341,8 @@ class Runner:
                         action="treated as miss; re-running")
             if payload is not None:
                 results[job] = harness.deserialize_result(payload)
-                self.manifest.record_job(job, "ok", cache_hit=True)
+                self.manifest.record_job(job, "ok", cache_hit=True,
+                                         result_payload=payload)
                 done += 1
                 hits += 1
             else:
@@ -334,7 +359,7 @@ class Runner:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(child_conn, job.workload, job.config,
-                      job.warmup, job.measure, job.seed),
+                      job.warmup, job.measure, job.seed, job.sampling),
                 daemon=True)
             proc.start()
             child_conn.close()
@@ -372,7 +397,7 @@ class Runner:
             ran += 1
             self.manifest.record_job(
                 job, "ok", wall_time=time.monotonic() - task.first_started,
-                attempts=task.attempts)
+                attempts=task.attempts, result_payload=payload)
 
         try:
             while pending or running:

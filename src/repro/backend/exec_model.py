@@ -80,6 +80,25 @@ class ExecModel:
             self._horizon = cycle
         return cycle
 
+    def clear(self) -> None:
+        """Drop all reservations (pipeline quiesce: in-flight uops are
+        squashed, so their future issue slots must be released)."""
+        self._slots = defaultdict(int)
+        self._issued = defaultdict(int)
+        self._horizon = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "slots": dict(self._slots),
+            "issued": dict(self._issued),
+            "horizon": self._horizon,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._slots = defaultdict(int, state["slots"])
+        self._issued = defaultdict(int, state["issued"])
+        self._horizon = state["horizon"]
+
     def trim(self, before_cycle: int) -> None:
         """Forget reservations older than ``before_cycle`` (memory bound)."""
         if len(self._issued) < 4096:

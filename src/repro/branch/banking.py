@@ -96,3 +96,10 @@ class BankedTage:
 
     def storage_bits(self) -> int:
         return sum(bank.storage_bits() for bank in self.banks)
+
+    def snapshot(self) -> list:
+        return [bank.snapshot() for bank in self.banks]
+
+    def restore(self, state: list) -> None:
+        for bank, saved in zip(self.banks, state):
+            bank.restore(saved)

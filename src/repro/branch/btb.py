@@ -37,6 +37,30 @@ class BTB:
         self.lookups = 0
         self.misses = 0
 
+    def snapshot(self) -> dict:
+        return {
+            "sets": [[(e.region, dict(e.branches), e.lru) for e in bucket]
+                     for bucket in self._sets],
+            "clock": self._clock,
+            "lookups": self.lookups,
+            "misses": self.misses,
+        }
+
+    def restore(self, state: dict) -> None:
+        sets: List[List[BTBEntry]] = []
+        for bucket in state["sets"]:
+            entries = []
+            for region, branches, lru in bucket:
+                entry = BTBEntry(region)
+                entry.branches = dict(branches)
+                entry.lru = lru
+                entries.append(entry)
+            sets.append(entries)
+        self._sets = sets
+        self._clock = state["clock"]
+        self.lookups = state["lookups"]
+        self.misses = state["misses"]
+
     def _set_index(self, region: int) -> int:
         return region % self.num_sets
 

@@ -21,6 +21,12 @@ class Gshare:
         self.config = config
         self._table = [0] * (1 << config.log_size)  # signed -2..1
 
+    def snapshot(self) -> dict:
+        return {"table": list(self._table)}
+
+    def restore(self, state: dict) -> None:
+        self._table = list(state["table"])
+
     def _index(self, pc: int, ghr: int) -> int:
         bits = self.config.log_size
         return ((pc >> 2) ^ (ghr & mask(self.config.history_length))) & mask(bits)

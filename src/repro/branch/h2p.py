@@ -44,6 +44,39 @@ class H2PTable:
         self.allocations = 0
         self.dropped_allocations = 0
 
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "banks": [[[(e.line, list(e.counters), list(e.offsets), e.lru)
+                        for e in bucket] for bucket in bank]
+                      for bank in self._banks],
+            "clock": self._clock,
+            "since_decrement": self._instructions_since_decrement,
+            "allocations": self.allocations,
+            "dropped_allocations": self.dropped_allocations,
+        }
+
+    def restore(self, state: dict) -> None:
+        banks: List[List[List[_LineEntry]]] = []
+        for bank in state["banks"]:
+            buckets = []
+            for bucket in bank:
+                entries = []
+                for line, counters, offsets, lru in bucket:
+                    entry = _LineEntry(line)
+                    entry.counters = list(counters)
+                    entry.offsets = list(offsets)
+                    entry.lru = lru
+                    entries.append(entry)
+                buckets.append(entries)
+            banks.append(buckets)
+        self._banks = banks
+        self._clock = state["clock"]
+        self._instructions_since_decrement = state["since_decrement"]
+        self.allocations = state["allocations"]
+        self.dropped_allocations = state["dropped_allocations"]
+
     # -- indexing -------------------------------------------------------------
 
     def _locate(self, pc: int):

@@ -24,6 +24,18 @@ class IndirectPredictor:
         self._hashed_target = [0] * size
         self._hashed_conf = [0] * size
 
+    def snapshot(self) -> dict:
+        return {
+            "last_target": list(self._last_target),
+            "hashed_target": list(self._hashed_target),
+            "hashed_conf": list(self._hashed_conf),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._last_target = list(state["last_target"])
+        self._hashed_target = list(state["hashed_target"])
+        self._hashed_conf = list(state["hashed_conf"])
+
     def _pc_index(self, pc: int) -> int:
         return (pc >> 2) & mask(self.log_size)
 

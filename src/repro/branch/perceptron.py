@@ -62,6 +62,18 @@ class HashedPerceptron:
             span = int(span * 1.8) + 1
         return lengths
 
+    def snapshot(self) -> dict:
+        return {
+            "tables": [list(t) for t in self._tables],
+            "theta": self._theta,
+            "theta_counter": self._theta_counter,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._tables = [list(t) for t in state["tables"]]
+        self._theta = state["theta"]
+        self._theta_counter = state["theta_counter"]
+
     def _index(self, table: int, pc: int, ghr: int, path: int) -> int:
         bits = self.config.table_log_size
         start, end = self._segments[table]

@@ -110,6 +110,36 @@ class TageSCL:
             bits += (1 << cfg.loop_log_size) * 40
         return bits
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deep copy of all mutable predictor state (sampling checkpoints)."""
+        return {
+            "tags": [list(t) for t in self._tags],
+            "ctrs": [list(t) for t in self._ctrs],
+            "useful": [list(t) for t in self._useful],
+            "bimodal": list(self._bimodal),
+            "use_alt_on_na": self._use_alt_on_na,
+            "tick": self._tick,
+            "sc_tables": [list(t) for t in self._sc_tables],
+            "loop": [(e.tag, e.trip, e.current, e.confidence, e.age)
+                     for e in self._loop],
+            "rng": self._rng.getstate(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._tags = [list(t) for t in state["tags"]]
+        self._ctrs = [list(t) for t in state["ctrs"]]
+        self._useful = [list(t) for t in state["useful"]]
+        self._bimodal = list(state["bimodal"])
+        self._use_alt_on_na = state["use_alt_on_na"]
+        self._tick = state["tick"]
+        self._sc_tables = [list(t) for t in state["sc_tables"]]
+        for entry, saved in zip(self._loop, state["loop"]):
+            (entry.tag, entry.trip, entry.current,
+             entry.confidence, entry.age) = saved
+        self._rng.setstate(state["rng"])
+
     # -- index / tag hashing ---------------------------------------------------
 
     def _index(self, table: int, pc: int, ghr: int, path: int) -> int:

@@ -34,7 +34,8 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis import harness
 from repro.analysis import runner as runner_mod
 from repro.analysis.metrics import geomean_speedup, speedups
-from repro.analysis.report import render_table
+from repro.analysis.report import render_table, summarize_histogram
+from repro.sampling import parse_sampling
 from repro.common.config import (
     AlternatePathMode,
     CoreConfig,
@@ -62,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="measured instructions (default: the bench "
                             "window for $REPRO_BENCH_SCALE)")
         p.add_argument("--seed", type=int, default=1234)
+        p.add_argument("--sampling", default=None, metavar="SPEC",
+                       help="interval sampling instead of a dense window, "
+                            "e.g. intervals=32,period=2000 (keys: "
+                            "intervals, period, warmup, measure, "
+                            "confidence)")
         p.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk result cache")
         p.add_argument("--scale", choices=("small", "paper"),
@@ -124,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--manifest", default=None,
                          help="run-manifest JSON path (default: "
                               "benchmarks/results/run_manifest.json)")
+    bench_p.add_argument("--sampling", default=None, metavar="SPEC",
+                         help="run every bench simulation in sampled mode "
+                              "(e.g. intervals=32,period=2000); results "
+                              "are cached separately from dense runs")
 
     sub.add_parser("list", help="list workloads and configurations")
 
@@ -188,7 +198,8 @@ def _run_one(workload: str, config: CoreConfig, args):
     return harness.run_cached(workload, config,
                               warmup=args.warmup, measure=args.measure,
                               seed=args.seed,
-                              use_cache=not args.no_cache)
+                              use_cache=not args.no_cache,
+                              sampling=parse_sampling(args.sampling))
 
 
 def _cmd_run(args) -> int:
@@ -201,13 +212,26 @@ def _cmd_run(args) -> int:
         ("branch MPKI", f"{result.branch_mpki:.2f}"),
         ("cond. mispredicts", result.cond_mispredicts),
     ]
+    if result.sampled:
+        ci = result.ipc_ci
+        rows += [
+            ("sampled intervals",
+             result.counters.get("sampling_intervals", len(
+                 result.interval_ipcs))),
+            (f"IPC {int(round(ci.confidence * 100))}% CI",
+             f"{ci.low:.3f} .. {ci.high:.3f} (±{ci.half_width:.3f})"),
+            ("detailed instructions",
+             result.counters.get("sampling_detailed_instructions", 0)),
+            ("fast-forwarded instructions",
+             result.counters.get("sampling_functional_instructions", 0)),
+        ]
     if config.apf.enabled:
         rows += [
             ("APF restores", result.counters.get("apf_restores", 0)),
             ("APF jobs", result.counters.get("apf_jobs_started", 0)),
             ("bank-conflict cycles",
              result.counters.get("apf_bank_conflict_cycles", 0)),
-            ("mean re-fill saved", f"{result.refill_saved.mean():.1f}"),
+            ("re-fill saved", summarize_histogram(result.refill_saved)),
         ]
     print(render_table(["metric", "value"], rows,
                        title=f"{args.workload} "
@@ -295,6 +319,7 @@ def _cmd_bench(args) -> int:
         raise SystemExit(f"unknown benchmarks: {', '.join(unknown)} "
                          f"(try: repro bench --list)")
 
+    sampling = parse_sampling(args.sampling)
     manifest = runner_mod.RunManifest(meta={
         "benchmarks": names,
         "jobs": runner_mod.resolve_jobs(args.jobs),
@@ -302,6 +327,7 @@ def _cmd_bench(args) -> int:
         "retries": args.retries,
         "use_cache": not args.no_cache,
         "scale": harness.bench_windows(),
+        "sampling": sampling.cache_tag() if sampling else None,
         "cache_schema_version": harness.CACHE_SCHEMA_VERSION,
     })
     runner = runner_mod.Runner(jobs=args.jobs, timeout=args.timeout,
@@ -309,7 +335,7 @@ def _cmd_bench(args) -> int:
                                use_cache=not args.no_cache,
                                manifest=manifest)
     failed: List[str] = []
-    with runner_mod.using_runner(runner):
+    with runner_mod.using_runner(runner), harness.using_sampling(sampling):
         for name in names:
             print(f"== {name} ==", file=sys.stderr)
             try:

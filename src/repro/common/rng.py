@@ -21,6 +21,13 @@ class DeterministicRng:
     def __init__(self, seed: int) -> None:
         self._state = (seed ^ 0x9E3779B97F4A7C15) & _MASK64
 
+    def getstate(self) -> int:
+        """Raw generator state, restorable via :meth:`setstate`."""
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        self._state = state & _MASK64
+
     def next_u64(self) -> int:
         self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
         z = self._state

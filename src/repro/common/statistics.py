@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence
 
-__all__ = ["StatGroup", "Histogram", "geomean", "ratio"]
+__all__ = ["StatGroup", "Histogram", "ConfidenceInterval", "geomean",
+           "ratio", "student_t_critical"]
 
 
 def ratio(numerator: float, denominator: float) -> float:
@@ -29,6 +31,83 @@ def geomean(values: Iterable[float]) -> float:
         acc += math.log(value)
         count += 1
     return math.exp(acc / count) if count else 0.0
+
+
+# Two-sided Student-t critical values by confidence level; index = df - 1
+# for df 1..30, then the normal-approximation tail value. Enough precision
+# for interval-sampling confidence bounds without scipy.
+_T_TABLE = {
+    0.90: [6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+           1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+           1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+           1.701, 1.699, 1.697],
+    0.95: [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+           2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+           2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+           2.048, 2.045, 2.042],
+    0.99: [63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+           3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+           2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+           2.763, 2.756, 2.750],
+}
+_T_ASYMPTOTIC = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def student_t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError(f"need at least 1 degree of freedom, got {df}")
+    if confidence not in _T_TABLE:
+        raise ValueError(f"unsupported confidence {confidence}; "
+                         f"choose from {sorted(_T_TABLE)}")
+    table = _T_TABLE[confidence]
+    if df <= len(table):
+        return table[df - 1]
+    return _T_ASYMPTOTIC[confidence]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a symmetric confidence bound computed from samples."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (0.0 for a zero mean)."""
+        return ratio(self.half_width, abs(self.mean))
+
+    @classmethod
+    def from_samples(cls, values: Sequence[float],
+                     confidence: float = 0.95) -> "ConfidenceInterval":
+        """Student-t interval for the mean of ``values``.
+
+        A single sample yields a degenerate interval of half-width 0 —
+        callers wanting a bound must provide at least two samples.
+        """
+        n = len(values)
+        if n == 0:
+            raise ValueError("cannot build an interval from no samples")
+        mean = sum(values) / n
+        if n == 1:
+            return cls(mean, 0.0, confidence, 1)
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        half = student_t_critical(n - 1, confidence) \
+            * math.sqrt(variance / n)
+        return cls(mean, half, confidence, n)
 
 
 class Histogram:
@@ -57,6 +136,26 @@ class Histogram:
         if not total:
             return 0.0
         return sum(b * c for b, c in self.buckets.items()) / total
+
+    def percentile(self, p: float) -> float:
+        """Smallest bucket value at or below which ``p`` percent of the
+        recorded samples fall (nearest-rank). Returns 0.0 when empty."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        total = self.total()
+        if not total:
+            return 0.0
+        rank = max(1, math.ceil(total * p / 100.0))
+        running = 0
+        for bucket in sorted(self.buckets):
+            running += self.buckets[bucket]
+            if running >= rank:
+                return float(bucket)
+        return float(max(self.buckets))
+
+    def clear(self) -> None:
+        """Drop all recorded samples, keeping this object usable in place."""
+        self.buckets.clear()
 
     def merge(self, other: "Histogram") -> None:
         for bucket, count in other.buckets.items():
@@ -94,11 +193,41 @@ class StatGroup:
         return hist
 
     def reset(self) -> None:
+        """Zero all counters and histograms **in place**.
+
+        Components routinely cache the Histogram object returned by
+        :meth:`histogram`; replacing the objects here (the old
+        ``histograms.clear()`` behaviour) would leave those caches writing
+        into detached histograms that the group never reports again.
+        """
         self.counters.clear()
-        self.histograms.clear()
+        for hist in self.histograms.values():
+            hist.clear()
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self.counters)
+
+    def state(self) -> dict:
+        """Full copyable state (counters + histogram contents)."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {key: dict(hist.buckets)
+                           for key, hist in self.histograms.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state` in place, preserving cached Histogram
+        object identity for keys that still exist."""
+        self.counters.clear()
+        self.counters.update(state["counters"])
+        saved = state["histograms"]
+        for key in list(self.histograms):
+            if key not in saved:
+                del self.histograms[key]
+        for key, buckets in saved.items():
+            hist = self.histogram(key)
+            hist.buckets.clear()
+            hist.buckets.update(buckets)
 
     def merge(self, other: "StatGroup") -> None:
         for key, value in other.counters.items():

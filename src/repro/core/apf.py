@@ -119,6 +119,13 @@ class APFEngine:
             else:
                 rec.dpip_eligible = False
 
+    def clear(self) -> None:
+        """Drop all alternate-path state (pipeline quiesce)."""
+        self.active_job = None
+        self.held_job = None
+        self.buffers = [None] * self.config.num_buffers
+        self.dpip_pending = None
+
     def release_branch(self, rec: InflightBranch) -> None:
         """Free APF state owned by a resolved-correct or squashed branch."""
         if rec.apf_buffer is not None:

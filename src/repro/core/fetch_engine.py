@@ -109,6 +109,36 @@ class MainFetchEngine:
         # branch records created this cycle (core collects them)
         self.new_branches: List[InflightBranch] = []
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture fetch state. Only meaningful at a quiescent point
+        (pipeline empty, on-trace fetch) — ``new_branches`` and the
+        per-cycle bank sets are transient and not captured."""
+        return {
+            "history": self.history.checkpoint(),
+            "ras": self.ras.checkpoint(),
+            "cursor": self.cursor,
+            "wrong_path": self.wrong_path,
+            "pc": self.pc,
+            "dead": self.dead,
+            "stall_until": self.stall_until,
+            "seq": self.seq,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.history.restore(state["history"])
+        self.ras.restore(state["ras"])
+        self.cursor = state["cursor"]
+        self.wrong_path = state["wrong_path"]
+        self.pc = state["pc"]
+        self.dead = state["dead"]
+        self.stall_until = state["stall_until"]
+        self.seq = state["seq"]
+        self.cycle_tage_banks = set()
+        self.cycle_icache_banks = set()
+        self.new_branches = []
+
     # -- redirect ----------------------------------------------------------
 
     def redirect_on_trace(self, cursor: int, now: int) -> None:

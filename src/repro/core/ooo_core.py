@@ -165,6 +165,107 @@ class OoOCore:
         return 1000.0 * self.measured("cond_mispredicts") / instrs
 
     # ------------------------------------------------------------------
+    # checkpointing (sampling support)
+    # ------------------------------------------------------------------
+
+    def quiesce(self) -> None:
+        """Squash every speculative/in-flight structure down to the
+        architectural boundary of the last retired instruction.
+
+        After this call the pipeline is empty, fetch sits on the trace at
+        index ``retired``, and the speculative history/RAS hold their
+        architectural values — the state a checkpoint may be taken from.
+        ``now`` is not touched; timing simply resumes from the current
+        cycle.
+        """
+        if self.inflight:
+            # the oldest unretired branch's checkpoints ARE the
+            # architectural history/RAS at the retire boundary: every older
+            # branch has retired (its outcome is in the checkpoint) or been
+            # squashed (recovery undid its push)
+            oldest = self.inflight[0]
+            self.fetch.history.restore(oldest.hist_checkpoint)
+            self.fetch.ras.restore(oldest.ras_checkpoint)
+        for du in self.rob:
+            du.squashed = True
+        self.rob.clear()
+        self.ftq.clear()
+        self.restore_queue.clear()
+        for rec in self.inflight:
+            rec.squashed = True
+        self.inflight.clear()
+        self.events.clear()
+        self.sched_heap.clear()
+        self.exec.clear()
+        self.load_count = 0
+        self.store_count = 0
+        if self.apf is not None:
+            self.apf.clear()
+        self.fetch.new_branches = []
+        self.fetch.redirect_on_trace(self.retired, self.now)
+        # squashed producers' values are architecturally available now
+        self.rename.settle(self.now)
+
+    def snapshot(self) -> dict:
+        """Capture the full core state at a quiescent point.
+
+        Raises if the pipeline is not empty — call :meth:`quiesce` first.
+        The snapshot is a plain nested dict (no live object references), so
+        restoring it later is exact even after further simulation.
+        """
+        if self.rob or self.ftq or self.inflight or self.restore_queue \
+                or self.events:
+            raise RuntimeError("snapshot() requires a quiesced core "
+                               "(call quiesce() first)")
+        return {
+            "now": self.now,
+            "retired": self.retired,
+            "warmup_target": self.warmup_target,
+            "warmup_cycle": self.warmup_cycle,
+            "warmup_snapshot": dict(self.warmup_snapshot),
+            "collect": self._collect,
+            "stats": self.stats.state(),
+            "fetch": self.fetch.snapshot(),
+            "rename": self.rename.snapshot(),
+            "exec": self.exec.snapshot(),
+            "predictor": self.branch_unit.predictor.snapshot(),
+            "btb": self.branch_unit.btb.snapshot(),
+            "indirect": self.branch_unit.indirect.snapshot(),
+            "h2p": self.h2p_table.snapshot(),
+            "hierarchy": self.hierarchy.snapshot(),
+            "dtlb": self.dtlb.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`. The pipeline comes back empty."""
+        self.rob.clear()
+        self.ftq.clear()
+        self.restore_queue.clear()
+        self.inflight.clear()
+        self.events.clear()
+        self.sched_heap.clear()
+        self.load_count = 0
+        self.store_count = 0
+        if self.apf is not None:
+            self.apf.clear()
+        self.now = state["now"]
+        self.retired = state["retired"]
+        self.warmup_target = state["warmup_target"]
+        self.warmup_cycle = state["warmup_cycle"]
+        self.warmup_snapshot = dict(state["warmup_snapshot"])
+        self._collect = state["collect"]
+        self.stats.load_state(state["stats"])
+        self.fetch.restore(state["fetch"])
+        self.rename.restore_state(state["rename"])
+        self.exec.restore(state["exec"])
+        self.branch_unit.predictor.restore(state["predictor"])
+        self.branch_unit.btb.restore(state["btb"])
+        self.branch_unit.indirect.restore(state["indirect"])
+        self.h2p_table.restore(state["h2p"])
+        self.hierarchy.restore(state["hierarchy"])
+        self.dtlb.restore(state["dtlb"])
+
+    # ------------------------------------------------------------------
     # resolve / recovery
     # ------------------------------------------------------------------
 

@@ -8,10 +8,10 @@ with the measured-window metrics every benchmark harness consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.common.config import CoreConfig, small_core_config
-from repro.common.statistics import Histogram, ratio
+from repro.common.statistics import ConfidenceInterval, Histogram, ratio
 from repro.workloads.profiles import build_workload, workload_trace
 from repro.workloads.program import Program
 from repro.workloads.trace import DynamicTrace
@@ -34,6 +34,13 @@ class SimResult:
     cond_mispredicts: int
     counters: Dict[str, int] = field(default_factory=dict)
     refill_saved: Histogram = field(default_factory=Histogram)
+    # populated only by sampled runs (repro.sampling)
+    interval_ipcs: List[float] = field(default_factory=list)
+    ipc_ci: Optional[ConfidenceInterval] = None
+
+    @property
+    def sampled(self) -> bool:
+        return bool(self.interval_ipcs)
 
     def speedup_over(self, baseline: "SimResult") -> float:
         if self.ipc <= 0 or baseline.ipc <= 0:

@@ -46,6 +46,28 @@ class RenameTable:
     def restore(self, snapshot: Tuple[int, ...]) -> None:
         self._rat = list(snapshot)
 
+    def settle(self, cycle: int) -> None:
+        """Cap all scoreboard ready times at ``cycle`` (pipeline quiesce:
+        values of squashed producers are treated as architecturally
+        available now)."""
+        for tag, ready in self._ready.items():
+            if ready > cycle:
+                self._ready[tag] = cycle
+
+    def snapshot(self) -> dict:
+        return {
+            "next_tag": self._next_tag,
+            "rat": list(self._rat),
+            "ready": dict(self._ready),
+            "checkpoints_taken": self.checkpoints_taken,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._next_tag = state["next_tag"]
+        self._rat = list(state["rat"])
+        self._ready = dict(state["ready"])
+        self.checkpoints_taken = state["checkpoints_taken"]
+
     def compact(self, min_live_tag: int) -> None:
         """Drop scoreboard entries for tags below ``min_live_tag`` that are
         no longer mapped (called occasionally to bound memory)."""

@@ -85,6 +85,20 @@ class Cache:
         self._tags = [[] for _ in range(self.num_sets)]
         self._lru = [[] for _ in range(self.num_sets)]
 
+    def snapshot(self) -> dict:
+        return {
+            "tags": [list(s) for s in self._tags],
+            "lru": [list(s) for s in self._lru],
+            "clock": self._clock,
+            "stats": self.stats.state(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._tags = [list(s) for s in state["tags"]]
+        self._lru = [list(s) for s in state["lru"]]
+        self._clock = state["clock"]
+        self.stats.load_state(state["stats"])
+
     @property
     def miss_rate(self) -> float:
         return self.stats.rate("misses", "accesses")
@@ -101,6 +115,22 @@ class CacheHierarchy:
         self.l2 = Cache(memory_config.l2, next_level=self.llc)
         self.icache = Cache(memory_config.icache, next_level=self.l2)
         self.dcache = Cache(memory_config.dcache, next_level=self.l2)
+
+    def snapshot(self) -> dict:
+        return {
+            "icache": self.icache.snapshot(),
+            "dcache": self.dcache.snapshot(),
+            "l2": self.l2.snapshot(),
+            "llc": self.llc.snapshot(),
+            "dram": self.dram.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.icache.restore(state["icache"])
+        self.dcache.restore(state["dcache"])
+        self.l2.restore(state["l2"])
+        self.llc.restore(state["llc"])
+        self.dram.restore(state["dram"])
 
     def ifetch(self, address: int, cycle: int = 0) -> int:
         latency = self._access(self.icache, address, cycle, is_write=False)

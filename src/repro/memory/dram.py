@@ -21,6 +21,26 @@ class Dram:
         self._bank_free_at = [0] * config.num_banks
         self.stats = StatGroup("dram")
 
+    def snapshot(self) -> dict:
+        return {
+            "open_row": list(self._open_row),
+            "bank_free_at": list(self._bank_free_at),
+            "stats": self.stats.state(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._open_row = list(state["open_row"])
+        self._bank_free_at = list(state["bank_free_at"])
+        self.stats.load_state(state["stats"])
+
+    def settle(self, cycle: int) -> None:
+        """Mark all banks idle at ``cycle``. Used after a functional
+        fast-forward: accesses made with a frozen clock pile queue delay
+        onto the banks, but in wall-clock terms the banks would long since
+        have drained."""
+        self._bank_free_at = [min(free, cycle)
+                              for free in self._bank_free_at]
+
     def _bank_and_row(self, address: int) -> tuple:
         row = address // self.config.row_bytes
         bank = row % self.config.num_banks

@@ -21,6 +21,14 @@ class TLB:
         self._entries: OrderedDict = OrderedDict()
         self.stats = StatGroup(name)
 
+    def snapshot(self) -> dict:
+        return {"pages": list(self._entries), "stats": self.stats.state()}
+
+    def restore(self, state: dict) -> None:
+        self._entries = OrderedDict((page, True)
+                                    for page in state["pages"])
+        self.stats.load_state(state["stats"])
+
     def access(self, address: int) -> int:
         """Return extra latency (0 on hit, miss_latency on miss)."""
         page = address // self.config.page_bytes

@@ -1,0 +1,25 @@
+"""Statistical sampling subsystem (SMARTS-style interval simulation).
+
+Dense simulation pays detailed-core cost for every instruction. Sampled
+simulation walks the trace with a cheap *functional* model (training the
+branch predictors and caches but doing no cycle accounting), drops into the
+detailed core for short evenly-spaced intervals, and reports the mean IPC
+across intervals together with a Student-t confidence interval.
+
+Public surface:
+
+- :class:`SamplingPlan` — how many intervals, how long, how much detailed
+  warmup; parses ``intervals=K,period=N`` CLI specs and contributes a cache
+  key tag.
+- :class:`FunctionalWarmer` — advances a quiesced core along its trace
+  without cycles, keeping predictors/caches warm.
+- :class:`SamplingSimulator` — alternates fast-forward → detailed warmup →
+  measured interval and aggregates per-interval ``SimResult`` metrics.
+"""
+
+from repro.sampling.fastforward import FunctionalWarmer
+from repro.sampling.plan import SamplingPlan, parse_sampling
+from repro.sampling.simulator import SamplingSimulator, run_sampled
+
+__all__ = ["SamplingPlan", "FunctionalWarmer", "SamplingSimulator",
+           "parse_sampling", "run_sampled"]

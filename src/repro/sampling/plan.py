@@ -1,0 +1,153 @@
+"""Sampling plan: the shape of an interval-sampled simulation.
+
+A plan slices a trace of ``intervals * period`` instructions into equal
+periods; within each period the tail ``detailed_warmup + measure``
+instructions run on the detailed core (warmup unmeasured, then the measured
+interval), and everything before that is functionally fast-forwarded. The
+plan is frozen and hashable so it can ride inside runner jobs and cache
+keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["SamplingPlan", "parse_sampling"]
+
+
+#: default shape of the detailed stretch within a period, as fractions of
+#: the period — the values validated by bench_sampling_accuracy (8% pipe
+#: warmup, 72% measured, 20% functionally fast-forwarded)
+DEFAULT_WARMUP_FRACTION = 0.08
+DEFAULT_MEASURE_FRACTION = 0.72
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    intervals: int = 32
+    period: int = 2_000
+    detailed_warmup: int = 160
+    measure: int = 1_440
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.intervals < 1:
+            raise ValueError("sampling needs at least one interval")
+        if self.measure < 1:
+            raise ValueError("measured interval must be positive")
+        if self.detailed_warmup < 0:
+            raise ValueError("detailed warmup cannot be negative")
+        if self.detailed_warmup + self.measure > self.period:
+            raise ValueError(
+                "period must cover detailed_warmup + measure "
+                f"({self.detailed_warmup} + {self.measure} > {self.period})")
+        if not 0.5 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0.5, 1.0)")
+
+    # -- derived sizes -----------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        return self.intervals * self.period
+
+    @property
+    def detailed_instructions(self) -> int:
+        return self.intervals * (self.detailed_warmup + self.measure)
+
+    @property
+    def functional_instructions(self) -> int:
+        return self.total_instructions - self.detailed_instructions
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "SamplingPlan":
+        """Parse a CLI spec like ``intervals=8,period=20000``.
+
+        Recognised keys: ``intervals``, ``period``, ``warmup``
+        (detailed warmup), ``measure``, ``confidence``. Unspecified
+        ``measure``/``warmup`` default to the validated fractions of the
+        period (72% / 8%), so a bare ``intervals=K,period=N`` is valid.
+        """
+        fields = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad sampling spec item {part!r} (want key=value)")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in ("intervals", "period", "warmup", "measure",
+                           "confidence"):
+                raise ValueError(f"unknown sampling spec key {key!r}")
+            fields[key] = value.strip()
+        intervals = int(fields.get("intervals", cls.intervals))
+        period = int(fields.get("period", cls.period))
+        measure = int(fields["measure"]) if "measure" in fields \
+            else max(1, int(period * DEFAULT_MEASURE_FRACTION))
+        warmup = int(fields["warmup"]) if "warmup" in fields \
+            else max(0, int(period * DEFAULT_WARMUP_FRACTION))
+        confidence = float(fields.get("confidence", cls.confidence))
+        return cls(intervals=intervals, period=period,
+                   detailed_warmup=warmup, measure=measure,
+                   confidence=confidence)
+
+    @classmethod
+    def for_dense_window(cls, window: int, expansion: int = 4,
+                         confidence: float = 0.95) -> "SamplingPlan":
+        """Plan covering ``expansion``× the instructions of a dense run
+        whose total (warmup + measure) window is ``window``, using the
+        validated per-period shape. The sampled run executes fewer
+        detailed cycles than a dense run over that same expanded trace,
+        which is the comparison :mod:`bench_sampling_accuracy` makes."""
+        total = window * expansion
+        intervals = max(8, total // cls.period)
+        period = max(4, total // intervals)
+        measure = max(1, int(period * DEFAULT_MEASURE_FRACTION))
+        warmup = max(0, min(int(period * DEFAULT_WARMUP_FRACTION),
+                            period - measure))
+        return cls(intervals=intervals, period=period,
+                   detailed_warmup=warmup, measure=measure,
+                   confidence=confidence)
+
+    def scaled_to_trace(self, trace_length: int) -> "SamplingPlan":
+        """Shrink the period so the plan fits a shorter trace (interval
+        count is preserved; measured/warmup windows shrink pro rata)."""
+        if trace_length >= self.total_instructions:
+            return self
+        period = trace_length // self.intervals
+        if period < 4:
+            raise ValueError(
+                f"trace of {trace_length} instructions is too short for "
+                f"{self.intervals} sampling intervals")
+        scale = period / self.period
+        measure = max(1, int(self.measure * scale))
+        warmup = max(0, min(int(self.detailed_warmup * scale),
+                            period - measure))
+        return replace(self, period=period, detailed_warmup=warmup,
+                       measure=measure)
+
+    # -- identity ----------------------------------------------------------
+
+    def cache_tag(self) -> str:
+        """Short stable string mixed into result-cache keys."""
+        tag = (f"s{self.intervals}x{self.period}"
+               f"w{self.detailed_warmup}m{self.measure}")
+        if self.confidence != 0.95:
+            tag += f"c{int(round(self.confidence * 100))}"
+        return tag
+
+    def describe(self) -> str:
+        return (f"{self.intervals} intervals × {self.period} instructions "
+                f"(warmup {self.detailed_warmup}, measure {self.measure}, "
+                f"{int(round(self.confidence * 100))}% CI)")
+
+
+def parse_sampling(spec: Optional[str]) -> Optional[SamplingPlan]:
+    """CLI adapter: ``None``/empty stays dense; otherwise parse the spec."""
+    if not spec:
+        return None
+    return SamplingPlan.parse(spec)

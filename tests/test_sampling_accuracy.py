@@ -1,0 +1,47 @@
+"""Acceptance test for the sampling subsystem's accuracy claim.
+
+Drives ``benchmarks/bench_sampling_accuracy.py`` at the small-scale
+window regardless of environment: on every workload the sampled run
+(>=8 intervals over a 4x longer trace) must reproduce the dense IPC
+within its own 95% confidence interval and within +-3%, while executing
+fewer detailed cycles than the dense run over the same trace.
+
+This is the most expensive test in the suite (it simulates 260k
+instructions per workload twice); results land in the shared on-disk
+bench cache, so re-runs are cheap.
+"""
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+import bench_sampling_accuracy as bench          # noqa: E402
+from repro.workloads.profiles import ALL_NAMES   # noqa: E402
+
+SMALL_WINDOW = 65_000   # small-scale warmup + measure
+
+
+def test_sampled_matches_dense_on_every_workload():
+    plan, rows = bench.accuracy_rows(window=SMALL_WINDOW)
+
+    assert plan.intervals >= 8
+    assert plan.total_instructions >= 4 * SMALL_WINDOW
+    assert {row["workload"] for row in rows} == set(ALL_NAMES)
+
+    failures = []
+    for row in rows:
+        problems = []
+        if abs(row["error"]) > bench.ERROR_BUDGET:
+            problems.append(f"error {100 * row['error']:+.2f}%")
+        if not row["within_ci"]:
+            problems.append("dense IPC outside sampled CI")
+        if not row["detailed_cycles"] < row["dense_cycles"]:
+            problems.append("sampled run not cheaper than dense")
+        if row["intervals"] < 8:
+            problems.append(f"only {row['intervals']} intervals")
+        if problems:
+            failures.append(f"{row['workload']}: {', '.join(problems)}")
+    assert not failures, "; ".join(failures)

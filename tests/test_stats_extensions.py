@@ -1,0 +1,155 @@
+"""Tests for the statistics additions shipped with the sampling
+subsystem: ConfidenceInterval / Student-t, Histogram.percentile, the
+in-place StatGroup.reset regression, and SimResult's Table II metric
+helpers (including their zero-denominator paths)."""
+
+import math
+
+import pytest
+
+from repro.common.statistics import (
+    ConfidenceInterval,
+    Histogram,
+    StatGroup,
+    student_t_critical,
+)
+from repro.core.simulator import SimResult
+
+
+class TestStudentT:
+    def test_known_critical_values(self):
+        # classic table values, two-sided 95%
+        assert student_t_critical(1, 0.95) == pytest.approx(12.706, abs=0.01)
+        assert student_t_critical(9, 0.95) == pytest.approx(2.262, abs=0.01)
+        assert student_t_critical(30, 0.95) == pytest.approx(2.042, abs=0.01)
+
+    def test_approaches_normal_for_large_df(self):
+        assert student_t_critical(10_000, 0.95) == pytest.approx(1.96,
+                                                                 abs=0.02)
+
+    def test_monotone_in_confidence(self):
+        assert student_t_critical(5, 0.99) > student_t_critical(5, 0.95) \
+            > student_t_critical(5, 0.90)
+
+
+class TestConfidenceInterval:
+    def test_from_samples_matches_hand_computation(self):
+        values = [10.0, 12.0, 14.0, 16.0]
+        ci = ConfidenceInterval.from_samples(values, 0.95)
+        mean = 13.0
+        sd = math.sqrt(sum((v - mean) ** 2 for v in values) / 3)
+        expected_half = student_t_critical(3, 0.95) * sd / 2.0
+        assert ci.mean == pytest.approx(mean)
+        assert ci.half_width == pytest.approx(expected_half)
+        assert ci.samples == 4
+
+    def test_bounds_and_contains(self):
+        ci = ConfidenceInterval(10.0, 1.5, 0.95, 9)
+        assert ci.low == 8.5 and ci.high == 11.5
+        assert ci.contains(10.0) and ci.contains(8.5) and ci.contains(11.5)
+        assert not ci.contains(8.49)
+        assert ci.relative_half_width() == pytest.approx(0.15)
+
+    def test_degenerate_cases(self):
+        single = ConfidenceInterval.from_samples([3.0])
+        assert single.half_width == 0.0 and single.samples == 1
+        with pytest.raises(ValueError):
+            ConfidenceInterval.from_samples([])
+
+
+class TestHistogramPercentile:
+    def test_nearest_rank(self):
+        hist = Histogram()
+        for bucket, count in ((1, 5), (2, 3), (10, 2)):
+            hist.add(bucket, count)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(50) == 1.0
+        assert hist.percentile(51) == 2.0
+        assert hist.percentile(80) == 2.0
+        assert hist.percentile(90) == 10.0
+        assert hist.percentile(100) == 10.0
+
+    def test_empty_and_bad_args(self):
+        hist = Histogram()
+        assert hist.percentile(50) == 0.0
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+
+class TestStatGroupReset:
+    def test_reset_preserves_cached_histogram_objects(self):
+        """Regression: reset() used to call histograms.clear(), detaching
+        any Histogram object a component had cached from histogram() —
+        its writes were then silently lost."""
+        group = StatGroup("core")
+        cached = group.histogram("refill_saved")
+        cached.add(3)
+        group.incr("recoveries")
+
+        group.reset()
+        assert group.get("recoveries") == 0
+        assert cached.total() == 0
+        # the component keeps writing into its cached object...
+        cached.add(7, 2)
+        # ...and the group still reports those writes
+        assert group.histogram("refill_saved") is cached
+        assert group.histogram("refill_saved").total() == 2
+
+    def test_state_load_state_roundtrip(self):
+        group = StatGroup("x")
+        group.incr("a", 4)
+        group.histogram("h").add(2, 3)
+        saved = group.state()
+        group.incr("a", 1)
+        group.histogram("h").add(5)
+        group.load_state(saved)
+        assert group.get("a") == 4
+        assert group.histogram("h").as_dict() == {2: 3}
+
+
+def make_result(counters=None, mispredicts=100):
+    return SimResult(workload="w", instructions=1000, cycles=500, ipc=2.0,
+                     branch_mpki=0.0, cond_branches=200,
+                     cond_mispredicts=mispredicts,
+                     counters=counters or {})
+
+
+class TestTableTwoHelpers:
+    def test_specificity(self):
+        result = make_result({"h2p_marked_mis": 80}, mispredicts=100)
+        assert result.specificity() == pytest.approx(0.8)
+        # marker argument selects the counter family
+        result = make_result({"lowconf_marked_mis": 25}, mispredicts=100)
+        assert result.specificity("lowconf") == pytest.approx(0.25)
+
+    def test_specificity_zero_mispredicts(self):
+        result = make_result({"h2p_marked_mis": 0}, mispredicts=0)
+        assert result.specificity() == 0.0
+
+    def test_wastage(self):
+        result = make_result({"h2p_marked": 200, "h2p_marked_mis": 80})
+        assert result.wastage() == pytest.approx(0.6)
+
+    def test_wastage_zero_marked(self):
+        result = make_result({"h2p_marked": 0, "h2p_marked_mis": 0})
+        assert result.wastage() == 0.0
+
+    def test_apf_conflict_fraction(self):
+        result = make_result({"apf_bank_conflict_cycles": 30,
+                              "apf_active_cycles": 120})
+        assert result.apf_conflict_fraction() == pytest.approx(0.25)
+
+    def test_apf_conflict_fraction_zero_active(self):
+        result = make_result({"apf_bank_conflict_cycles": 0,
+                              "apf_active_cycles": 0})
+        assert result.apf_conflict_fraction() == 0.0
+
+    def test_speedup_over(self):
+        fast, slow = make_result(), make_result()
+        slow.ipc = 1.0
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        slow.ipc = 0.0
+        with pytest.raises(ValueError):
+            fast.speedup_over(slow)
