@@ -1,0 +1,161 @@
+"""Simulator-throughput benchmark guarding the event-driven core loop.
+
+Unlike every other benchmark here, this one measures the *simulator*, not
+the simulated machine: simulated kilocycles per wall-clock second on the
+dense Fig. 8 configuration (baseline core and the paper's APF design
+point), per workload. Runs are timed directly on :class:`OoOCore` — the
+harness cache would turn a second invocation into a file read.
+
+Results go to ``BENCH_simperf.json`` at the repo root, keyed by
+``REPRO_BENCH_SCALE``. Each scale section keeps up to three row sets:
+
+* ``before`` — the pre-optimization loop, measured once when the
+  event-driven loop landed; never rewritten by this benchmark.
+* ``after``  — the committed reference for the current code, rewritten on
+  every run (so a CI artifact always carries the fresh numbers).
+* ``geomean_speedup`` — geomean of after/before across rows, when both
+  exist.
+
+Throughput is machine-dependent; the committed numbers document the
+speedup on one machine and give CI a coarse regression tripwire
+(:data:`REGRESSION_TOLERANCE`), not a portable absolute.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from bench_common import register_bench, save_result
+from repro.analysis.harness import bench_windows
+from repro.common.config import small_core_config
+from repro.core.ooo_core import OoOCore
+from repro.workloads.profiles import ALL_NAMES, build_workload, workload_trace
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_simperf.json"
+SEED = 1234
+#: CI fails when the measured geomean drops more than this fraction below
+#: the committed ``after`` geomean for the same scale.
+REGRESSION_TOLERANCE = 0.30
+
+Rows = Dict[str, Dict[str, float]]
+
+
+def _scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def measure() -> Rows:
+    """Time one warmup+measure run per (workload, config) pair."""
+    warmup, window = bench_windows()
+    total = warmup + window
+    rows: Rows = {}
+    for workload in ALL_NAMES:
+        program = build_workload(workload)
+        trace = workload_trace(workload, total)
+        for label, config in (("base", small_core_config()),
+                              ("apf", small_core_config().with_apf())):
+            core = OoOCore(config, program, trace, seed=SEED)
+            t0 = time.perf_counter()
+            core.run(total, warmup=warmup)
+            wall = time.perf_counter() - t0
+            rows[f"{workload}/{label}"] = {
+                "cycles": core.now,
+                "wall_s": round(wall, 4),
+                "kcycles_per_s": round(core.now / 1000.0 / wall, 3),
+            }
+    return rows
+
+
+def geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def load_payload() -> dict:
+    if RESULT_PATH.exists():
+        return json.loads(RESULT_PATH.read_text())
+    return {
+        "description": "Simulator throughput (simulated kcycles per "
+                       "wall-clock second) on the dense Fig. 8 "
+                       "configuration; machine-dependent.",
+        "seed": SEED,
+        "scales": {},
+    }
+
+
+def committed_geomean(scale: str) -> Optional[float]:
+    """Geomean kcycles/s of the committed ``after`` rows, if any."""
+    section = load_payload()["scales"].get(scale)
+    if not section or not section.get("after"):
+        return None
+    return geomean(r["kcycles_per_s"] for r in section["after"].values())
+
+
+def update_payload(rows: Rows) -> dict:
+    """Fold fresh rows into BENCH_simperf.json as the current scale's
+    ``after`` set, preserving ``before`` and other scales."""
+    payload = load_payload()
+    section = payload["scales"].setdefault(_scale(), {})
+    section["after"] = rows
+    before = section.get("before")
+    if before:
+        speedups = [rows[k]["kcycles_per_s"] / before[k]["kcycles_per_s"]
+                    for k in rows if k in before]
+        if speedups:
+            section["geomean_speedup"] = round(geomean(speedups), 3)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")
+    return payload
+
+
+def render(rows: Rows) -> str:
+    section = load_payload()["scales"].get(_scale(), {})
+    before = section.get("before") or {}
+    lines = [f"simperf: simulated kcycles/sec "
+             f"(scale={_scale()}, seed={SEED})",
+             f"{'run':<24}{'kc/s':>10}{'before':>10}{'speedup':>9}"]
+    for key in sorted(rows):
+        kcps = rows[key]["kcycles_per_s"]
+        if key in before:
+            ref = before[key]["kcycles_per_s"]
+            lines.append(f"{key:<24}{kcps:>10.1f}{ref:>10.1f}"
+                         f"{kcps / ref:>8.2f}x")
+        else:
+            lines.append(f"{key:<24}{kcps:>10.1f}{'-':>10}{'-':>9}")
+    lines.append(f"geomean: {geomean(r['kcycles_per_s'] for r in rows.values()):.1f} kc/s")
+    if "geomean_speedup" in section:
+        lines.append(f"geomean speedup vs before: "
+                     f"{section['geomean_speedup']:.3f}x")
+    return "\n".join(lines)
+
+
+@register_bench("simperf")
+def run() -> str:
+    """Simulator throughput in simulated kcycles/sec per workload."""
+    rows = measure()
+    update_payload(rows)
+    text = render(rows)
+    save_result("simperf", text)
+    return text
+
+
+def test_simperf_no_regression():
+    """CI perf smoke: fresh geomean must stay within REGRESSION_TOLERANCE
+    of the committed baseline for this scale (when one exists)."""
+    baseline = committed_geomean(_scale())
+    rows = measure()
+    update_payload(rows)
+    save_result("simperf", render(rows))
+    fresh = geomean(r["kcycles_per_s"] for r in rows.values())
+    assert fresh > 0
+    if baseline is not None:
+        floor = (1.0 - REGRESSION_TOLERANCE) * baseline
+        assert fresh >= floor, (
+            f"simulator throughput regressed: geomean {fresh:.1f} kc/s is "
+            f">{REGRESSION_TOLERANCE:.0%} below the committed baseline "
+            f"{baseline:.1f} kc/s (floor {floor:.1f})")

@@ -135,6 +135,15 @@ class RunManifest:
             "cache_hit": cache_hit,
             "attempts": attempts,
         }
+        if result_payload is not None \
+                and result_payload.get("counters", {}).get("cycle_cap_hit"):
+            # the core burned its max_cycles budget before retiring the
+            # target: the result is truncated, not a converged measurement
+            entry["cycle_cap_hit"] = True
+            self.record_event(
+                "cycle_cap_hit", key=job.key, workload=job.workload,
+                detail="max_cycles reached before the instruction target; "
+                       "metrics cover a truncated window")
         if job.sampling is not None:
             entry["sampling"] = job.sampling.cache_tag()
             if result_payload is not None:

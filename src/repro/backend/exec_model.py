@@ -10,7 +10,6 @@ they were predicted.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict
 
 from repro.common.config import BackendConfig
@@ -54,9 +53,11 @@ class ExecModel:
             "store": config.agen_latency,
             "branch": config.alu_latency,
         }
-        # (cycle, fu_class) -> slots used ; cycle -> total issued
-        self._slots: Dict[tuple, int] = defaultdict(int)
-        self._issued: Dict[int, int] = defaultdict(int)
+        self._issue_width = config.issue_width
+        # per-FU-class {cycle -> slots used} ; {cycle -> total issued}
+        self._fu_slots: Dict[str, Dict[int, int]] = {
+            fu: {} for fu in self._ports}
+        self._issued: Dict[int, int] = {}
         self._horizon = 0
 
     @staticmethod
@@ -68,42 +69,63 @@ class ExecModel:
 
     def schedule(self, fu: str, ready_cycle: int) -> int:
         """Reserve the earliest issue slot at/after ``ready_cycle``."""
+        slots = self._fu_slots[fu]
+        issued = self._issued
+        slots_get = slots.get
+        issued_get = issued.get
         ports = self._ports[fu]
-        width = self.config.issue_width
+        width = self._issue_width
         cycle = ready_cycle
-        while (self._slots[(cycle, fu)] >= ports
-               or self._issued[cycle] >= width):
+        while (slots_get(cycle, 0) >= ports
+               or issued_get(cycle, 0) >= width):
             cycle += 1
-        self._slots[(cycle, fu)] += 1
-        self._issued[cycle] += 1
+        slots[cycle] = slots_get(cycle, 0) + 1
+        issued[cycle] = issued_get(cycle, 0) + 1
         if cycle > self._horizon:
             self._horizon = cycle
         return cycle
 
+    def next_wakeup(self, now: int):
+        """Earliest cycle at/after ``now`` this model needs ticking: None.
+
+        ExecModel is compute-at-allocate — every issue slot and completion
+        time is materialised the moment :meth:`schedule` is called, so the
+        model never needs a per-cycle tick of its own. Completion times
+        the core must observe already live in ``rob[*].done_cycle`` and in
+        the core's branch-resolution event heap; the skip loop consults
+        those directly.
+        """
+        del now
+        return None
+
     def clear(self) -> None:
         """Drop all reservations (pipeline quiesce: in-flight uops are
         squashed, so their future issue slots must be released)."""
-        self._slots = defaultdict(int)
-        self._issued = defaultdict(int)
+        for slots in self._fu_slots.values():
+            slots.clear()
+        self._issued = {}
         self._horizon = 0
 
     def snapshot(self) -> dict:
         return {
-            "slots": dict(self._slots),
+            "fu_slots": {fu: dict(slots)
+                         for fu, slots in self._fu_slots.items()},
             "issued": dict(self._issued),
             "horizon": self._horizon,
         }
 
     def restore(self, state: dict) -> None:
-        self._slots = defaultdict(int, state["slots"])
-        self._issued = defaultdict(int, state["issued"])
+        self._fu_slots = {fu: dict(slots)
+                          for fu, slots in state["fu_slots"].items()}
+        self._issued = dict(state["issued"])
         self._horizon = state["horizon"]
 
     def trim(self, before_cycle: int) -> None:
         """Forget reservations older than ``before_cycle`` (memory bound)."""
         if len(self._issued) < 4096:
             return
-        self._slots = defaultdict(int, {
-            key: v for key, v in self._slots.items() if key[0] >= before_cycle})
-        self._issued = defaultdict(int, {
-            cyc: v for cyc, v in self._issued.items() if cyc >= before_cycle})
+        for fu, slots in self._fu_slots.items():
+            self._fu_slots[fu] = {
+                cyc: v for cyc, v in slots.items() if cyc >= before_cycle}
+        self._issued = {
+            cyc: v for cyc, v in self._issued.items() if cyc >= before_cycle}

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.common.bitops import bit
 from repro.common.config import TageConfig
 from repro.branch.tage import Prediction, TageSCL
 
@@ -30,15 +29,15 @@ def tage_bank_bits(pc: int, num_banks: int) -> int:
     if num_banks == 1:
         return 0
     if num_banks == 2:
-        return bit(word, 0) ^ bit(word, 4)
+        return (word ^ (word >> 4)) & 1
     if num_banks == 4:
-        bit0 = bit(word, 0) ^ bit(word, 1) ^ bit(word, 5) ^ bit(word, 6)
-        bit1 = bit(word, 2) ^ bit(word, 3) ^ bit(word, 4) ^ bit(word, 7)
+        bit0 = (word ^ (word >> 1) ^ (word >> 5) ^ (word >> 6)) & 1
+        bit1 = ((word >> 2) ^ (word >> 3) ^ (word >> 4) ^ (word >> 7)) & 1
         return bit0 | (bit1 << 1)
     if num_banks == 8:
-        bit0 = bit(word, 0) ^ bit(word, 1) ^ bit(word, 2)
-        bit1 = bit(word, 3) ^ bit(word, 5) ^ bit(word, 6)
-        bit2 = bit(word, 4) ^ bit(word, 7)
+        bit0 = (word ^ (word >> 1) ^ (word >> 2)) & 1
+        bit1 = ((word >> 3) ^ (word >> 5) ^ (word >> 6)) & 1
+        bit2 = ((word >> 4) ^ (word >> 7)) & 1
         return bit0 | (bit1 << 1) | (bit2 << 2)
     raise ValueError(f"unsupported bank count {num_banks}")
 
@@ -50,7 +49,7 @@ def icache_bank_bits(address: int) -> int:
     notation folds into the half-line index); we follow the paper's final
     rule: bank index from byte-address bits 6 and 5, then group by bit 7.
     """
-    return (bit(address, 5) | (bit(address, 7) << 1)) & 3
+    return ((address >> 5) & 1) | ((address >> 6) & 2)
 
 
 def fetch_banks_touched(address: int, num_bytes: int) -> List[int]:

@@ -20,6 +20,8 @@ class Gshare:
         del seed
         self.config = config
         self._table = [0] * (1 << config.log_size)  # signed -2..1
+        self._idx_mask = mask(config.log_size)
+        self._hist_mask = mask(config.history_length)
 
     def snapshot(self) -> dict:
         return {"table": list(self._table)}
@@ -28,8 +30,7 @@ class Gshare:
         self._table = list(state["table"])
 
     def _index(self, pc: int, ghr: int) -> int:
-        bits = self.config.log_size
-        return ((pc >> 2) ^ (ghr & mask(self.config.history_length))) & mask(bits)
+        return ((pc >> 2) ^ (ghr & self._hist_mask)) & self._idx_mask
 
     def storage_bits(self) -> int:
         return (1 << self.config.log_size) * self.config.counter_bits

@@ -16,18 +16,21 @@ __all__ = ["SpeculativeHistory"]
 class SpeculativeHistory:
     """Global (direction) history plus a short path history."""
 
-    __slots__ = ("max_length", "path_length", "ghr", "path")
+    __slots__ = ("max_length", "path_length", "ghr", "path",
+                 "_ghr_mask", "_path_mask")
 
     def __init__(self, max_length: int = 256, path_length: int = 16) -> None:
         self.max_length = max_length
         self.path_length = path_length
         self.ghr = 0
         self.path = 0
+        self._ghr_mask = mask(max_length)
+        self._path_mask = mask(2 * path_length)
 
     def push(self, taken: bool, pc: int = 0) -> None:
         """Shift in one branch outcome (and low PC bits into path history)."""
-        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & mask(self.max_length)
-        self.path = ((self.path << 2) | ((pc >> 2) & 3)) & mask(2 * self.path_length)
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._ghr_mask
+        self.path = ((self.path << 2) | ((pc >> 2) & 3)) & self._path_mask
 
     def checkpoint(self) -> tuple:
         return (self.ghr, self.path)
@@ -42,6 +45,6 @@ class SpeculativeHistory:
 
     def snapshot_with(self, taken: bool, pc: int = 0) -> tuple:
         """Checkpoint as if ``taken`` had been pushed (without mutating)."""
-        ghr = ((self.ghr << 1) | (1 if taken else 0)) & mask(self.max_length)
-        path = ((self.path << 2) | ((pc >> 2) & 3)) & mask(2 * self.path_length)
+        ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._ghr_mask
+        path = ((self.path << 2) | ((pc >> 2) & 3)) & self._path_mask
         return (ghr, path)

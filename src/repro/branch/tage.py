@@ -96,6 +96,71 @@ class TageSCL:
         self._sc_threshold = 6
         # loop predictor
         self._loop = [_LoopEntry() for _ in range(1 << config.loop_log_size)]
+        # --- precomputed index/tag constants (hot path) ---
+        bits = config.table_log_size
+        self._idx_mask = (1 << bits) - 1
+        self._pc_shift = 2 + bits
+        self._tag_mask = (1 << config.tag_width) - 1
+        self._bim_mask = (1 << config.bimodal_log_size) - 1
+        self._loop_mask = (1 << config.loop_log_size) - 1
+        self._sc_mask = (1 << config.sc_log_size) - 1
+        self._hist_masks = [(1 << ln) - 1 for ln in self.history_lengths]
+        self._path_widths = [2 * min(ln, 16) for ln in self.history_lengths]
+        self._path_masks = [(1 << w) - 1 for w in self._path_widths]
+        self._sc_hist_masks = [(1 << ln) - 1 for ln in self._sc_lengths]
+        # Memoised XOR folds of (masked) history registers. fold_xor is a
+        # pure function of its masked input, so caching is exact: hits
+        # return bit-identical values to recomputation. Bounded so
+        # pathological history churn cannot grow them without limit.
+        self._ghr_folds: List[dict] = [{} for _ in range(n)]
+        self._path_folds: List[dict] = [{} for _ in range(n)]
+        self._sc_folds: List[dict] = [{} for _ in self._sc_lengths]
+
+    _FOLD_CACHE_LIMIT = 1 << 16
+
+    # -- memoised history folds ---------------------------------------------
+
+    def _hist_folds(self, table: int, ghr: int):
+        """(index_fold, tag_fold) of the masked global history for table."""
+        key = ghr & self._hist_masks[table]
+        cache = self._ghr_folds[table]
+        entry = cache.get(key)
+        if entry is None:
+            length = self.history_lengths[table]
+            tag_width = self.config.tag_width
+            entry = (
+                fold_xor(key, length, self.config.table_log_size),
+                fold_xor(key, length, tag_width)
+                ^ (fold_xor(key, length, tag_width - 1) << 1),
+            )
+            if len(cache) >= self._FOLD_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = entry
+        return entry
+
+    def _path_fold(self, table: int, path: int) -> int:
+        key = path & self._path_masks[table]
+        cache = self._path_folds[table]
+        fold = cache.get(key)
+        if fold is None:
+            fold = fold_xor(key, self._path_widths[table],
+                            self.config.table_log_size)
+            if len(cache) >= self._FOLD_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = fold
+        return fold
+
+    def _sc_fold(self, table: int, ghr: int) -> int:
+        key = ghr & self._sc_hist_masks[table]
+        cache = self._sc_folds[table]
+        fold = cache.get(key)
+        if fold is None:
+            fold = fold_xor(key, self._sc_lengths[table],
+                            self.config.sc_log_size)
+            if len(cache) >= self._FOLD_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = fold
+        return fold
 
     # -- storage accounting --------------------------------------------------
 
@@ -143,22 +208,15 @@ class TageSCL:
     # -- index / tag hashing ---------------------------------------------------
 
     def _index(self, table: int, pc: int, ghr: int, path: int) -> int:
-        cfg = self.config
-        bits = cfg.table_log_size
-        length = self.history_lengths[table]
-        idx = (pc >> 2) ^ (pc >> (2 + bits)) ^ fold_xor(ghr, length, bits)
-        idx ^= fold_xor(path, 2 * min(length, 16), bits) ^ table
-        return idx & mask(bits)
+        idx = (pc >> 2) ^ (pc >> self._pc_shift) ^ self._hist_folds(table, ghr)[0]
+        idx ^= self._path_fold(table, path) ^ table
+        return idx & self._idx_mask
 
     def _tag(self, table: int, pc: int, ghr: int) -> int:
-        cfg = self.config
-        length = self.history_lengths[table]
-        tag = (pc >> 2) ^ fold_xor(ghr, length, cfg.tag_width)
-        tag ^= fold_xor(ghr, length, cfg.tag_width - 1) << 1
-        return tag & mask(cfg.tag_width)
+        return ((pc >> 2) ^ self._hist_folds(table, ghr)[1]) & self._tag_mask
 
     def _bimodal_index(self, pc: int) -> int:
-        return (pc >> 2) & mask(self.config.bimodal_log_size)
+        return (pc >> 2) & self._bim_mask
 
     # -- lookup ---------------------------------------------------------------
 
@@ -169,15 +227,24 @@ class TageSCL:
         provider_idx = -1
         alt_table = -1
         alt_idx = -1
+        hist_folds = self._hist_folds
+        path_fold = self._path_fold
+        tags = self._tags
+        idx_mask = self._idx_mask
+        tag_mask = self._tag_mask
+        pc2 = pc >> 2
+        pc_mix = pc2 ^ (pc >> self._pc_shift)
         for table in range(self.config.num_tables - 1, -1, -1):
-            idx = self._index(table, pc, ghr, path)
-            if self._tags[table][idx] == self._tag(table, pc, ghr):
+            idx_fold, tag_fold = hist_folds(table, ghr)
+            idx = (pc_mix ^ idx_fold ^ path_fold(table, path)
+                   ^ table) & idx_mask
+            if tags[table][idx] == (pc2 ^ tag_fold) & tag_mask:
                 if provider < 0:
                     provider, provider_idx = table, idx
                 else:
                     alt_table, alt_idx = table, idx
                     break
-        bim_taken = self._bimodal[self._bimodal_index(pc)] >= 0
+        bim_taken = self._bimodal[pc2 & self._bim_mask] >= 0
         if alt_table >= 0:
             alt_taken = self._ctrs[alt_table][alt_idx] >= 0
         else:
@@ -212,16 +279,19 @@ class TageSCL:
 
     def _sc_sum(self, pc: int, ghr: int, tage_taken: bool) -> int:
         total = 8 if tage_taken else -8
-        for table, length in enumerate(self._sc_lengths):
-            idx = ((pc >> 2) ^ fold_xor(ghr, length, self.config.sc_log_size)
-                   ^ (table * 0x9E37)) & mask(self.config.sc_log_size)
-            total += 2 * self._sc_tables[table][idx] + 1
+        pc2 = pc >> 2
+        sc_mask = self._sc_mask
+        sc_fold = self._sc_fold
+        sc_tables = self._sc_tables
+        for table in range(len(self._sc_lengths)):
+            idx = (pc2 ^ sc_fold(table, ghr) ^ (table * 0x9E37)) & sc_mask
+            total += 2 * sc_tables[table][idx] + 1
         return total
 
     # -- loop predictor -----------------------------------------------------------
 
     def _loop_entry(self, pc: int) -> _LoopEntry:
-        return self._loop[(pc >> 2) & mask(self.config.loop_log_size)]
+        return self._loop[(pc >> 2) & self._loop_mask]
 
     def _loop_predict(self, pc: int) -> Optional[bool]:
         if not self.config.enable_loop_predictor:
@@ -271,10 +341,9 @@ class TageSCL:
             if sc_taken != pred_taken and abs(total) >= self._sc_threshold:
                 final_taken = sc_taken
             if final_taken != taken or abs(total) < 3 * self._sc_threshold:
-                for table, length in enumerate(self._sc_lengths):
-                    idx = ((pc >> 2)
-                           ^ fold_xor(ghr, length, cfg.sc_log_size)
-                           ^ (table * 0x9E37)) & mask(cfg.sc_log_size)
+                for table in range(len(self._sc_lengths)):
+                    idx = ((pc >> 2) ^ self._sc_fold(table, ghr)
+                           ^ (table * 0x9E37)) & self._sc_mask
                     ctr = self._sc_tables[table][idx]
                     if taken and ctr < self._sc_max:
                         self._sc_tables[table][idx] = ctr + 1

@@ -94,10 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-confidence", action="store_true",
                        help="disable the TAGE-confidence priority")
 
+    def add_profile(p):
+        p.add_argument("--profile", nargs="?", const="profile.pstats",
+                       default=None, metavar="PATH",
+                       help="profile the command under cProfile; dumps "
+                            "pstats to PATH (default profile.pstats) and "
+                            "prints the top 20 functions by cumulative "
+                            "time (combine with --no-cache so simulations "
+                            "actually run)")
+
     run_p = sub.add_parser("run", help="simulate one workload")
     run_p.add_argument("--workload", default="leela", choices=ALL_NAMES)
     add_common(run_p)
     add_apf(run_p)
+    add_profile(run_p)
 
     cmp_p = sub.add_parser("compare", help="baseline vs APF on workloads")
     cmp_p.add_argument("--workloads", default="leela,deepsjeng,tc",
@@ -134,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run every bench simulation in sampled mode "
                               "(e.g. intervals=32,period=2000); results "
                               "are cached separately from dense runs")
+    add_profile(bench_p)
 
     sub.add_parser("list", help="list workloads and configurations")
 
@@ -397,9 +408,31 @@ _COMMANDS = {
 }
 
 
+def _with_profile(args, fn: Callable[[], int]) -> int:
+    """Run ``fn``, under cProfile when the command carries ``--profile``."""
+    if not getattr(args, "profile", None):
+        return fn()
+    import cProfile
+    import pstats
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        path = Path(args.profile)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(path)
+        print(f"\nprofile written to {path}; top 20 by cumulative time:",
+              file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    return _with_profile(args, lambda: _COMMANDS[args.command](args))
 
 
 if __name__ == "__main__":   # pragma: no cover - exercised via __main__

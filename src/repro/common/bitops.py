@@ -43,12 +43,15 @@ def fold_xor(value: int, input_width: int, output_width: int) -> int:
     """
     if output_width <= 0:
         raise ValueError("output width must be positive")
-    value &= mask(input_width)
+    if input_width < 0:
+        raise ValueError(f"mask width must be non-negative, got {input_width}")
+    value &= (1 << input_width) - 1
     if input_width <= output_width:
         return value
+    out_mask = (1 << output_width) - 1
     folded = 0
     while value:
-        folded ^= value & mask(output_width)
+        folded ^= value & out_mask
         value >>= output_width
     return folded
 

@@ -276,6 +276,14 @@ class CoreConfig:
     predictor_kind: str = "tage"
     ras_entries: int = 32
     baseline_tage_banks: int = 1      # Fig. 7: bank TAGE without APF
+    #: ExecModel bookkeeping-trim cadence: the core trims issue-slot
+    #: reservations when ``(now & exec_trim_mask) == 0`` (i.e. every
+    #: ``exec_trim_mask + 1`` cycles), discarding entries older than
+    #: ``now - exec_trim_horizon``. Pure memory-bound housekeeping — the
+    #: horizon only has to exceed the deepest in-flight latency chain, and
+    #: the trim is unobservable in simulated timing.
+    exec_trim_mask: int = 0x3FFF
+    exec_trim_horizon: int = 2048
 
     def with_apf(self, **kwargs) -> "CoreConfig":
         """Return a copy with APF enabled and the given APF overrides."""

@@ -1,8 +1,10 @@
 """Lightweight statistics collection for the simulator.
 
-Every pipeline component owns a :class:`StatGroup`; counters are plain int
-attributes in a dict so the hot path stays cheap, and histograms are sparse
-dicts. Groups can be merged, reset, and rendered as report rows.
+Every pipeline component owns a :class:`StatGroup`; counters live in
+preallocated :class:`StatCell` handles so hot paths can bind a cell once
+and bump ``cell.value`` without any per-event dict+string lookup, and
+histograms are sparse dicts. Groups can be merged, reset, and rendered as
+report rows.
 """
 
 from __future__ import annotations
@@ -12,8 +14,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Sequence
 
-__all__ = ["StatGroup", "Histogram", "ConfidenceInterval", "geomean",
-           "ratio", "student_t_critical"]
+__all__ = ["StatGroup", "StatCell", "Histogram", "ConfidenceInterval",
+           "geomean", "ratio", "student_t_critical"]
 
 
 def ratio(numerator: float, denominator: float) -> float:
@@ -168,22 +170,61 @@ class Histogram:
         return f"Histogram({self.as_dict()})"
 
 
+class StatCell:
+    """Mutable int slot for one counter.
+
+    Hot paths call :meth:`StatGroup.counter` once at setup and then bump
+    ``cell.value += n`` directly — no hash, no string compare, no method
+    call. The owning group keeps the cell forever, so a bound handle stays
+    live across :meth:`StatGroup.reset` and :meth:`StatGroup.load_state`.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatCell({self.value})"
+
+
 class StatGroup:
     """A named bag of counters and histograms."""
 
+    __slots__ = ("name", "_cells", "histograms")
+
     def __init__(self, name: str) -> None:
         self.name = name
-        self.counters: Dict[str, int] = defaultdict(int)
+        self._cells: Dict[str, StatCell] = {}
         self.histograms: Dict[str, Histogram] = {}
 
+    def counter(self, key: str) -> StatCell:
+        """Preallocated handle for ``key``; bind once, bump ``.value``."""
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = StatCell()
+        return cell
+
     def incr(self, key: str, amount: int = 1) -> None:
-        self.counters[key] += amount
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = StatCell()
+        cell.value += amount
 
     def get(self, key: str) -> int:
-        return self.counters.get(key, 0)
+        cell = self._cells.get(key)
+        return cell.value if cell is not None else 0
 
     def set(self, key: str, value: int) -> None:
-        self.counters[key] = value
+        self.counter(key).value = value
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Visible counter dict (zero-valued cells are omitted, so a group
+        looks the same whether a counter was never touched or was zeroed
+        by reset/restore)."""
+        return {key: cell.value
+                for key, cell in self._cells.items() if cell.value}
 
     def histogram(self, key: str) -> Histogram:
         hist = self.histograms.get(key)
@@ -195,31 +236,37 @@ class StatGroup:
     def reset(self) -> None:
         """Zero all counters and histograms **in place**.
 
-        Components routinely cache the Histogram object returned by
-        :meth:`histogram`; replacing the objects here (the old
-        ``histograms.clear()`` behaviour) would leave those caches writing
-        into detached histograms that the group never reports again.
+        Components routinely cache the Histogram/StatCell objects returned
+        by :meth:`histogram`/:meth:`counter`; replacing the objects here
+        would leave those caches writing into detached stats the group
+        never reports again.
         """
-        self.counters.clear()
+        for cell in self._cells.values():
+            cell.value = 0
         for hist in self.histograms.values():
             hist.clear()
 
     def snapshot(self) -> Dict[str, int]:
-        return dict(self.counters)
+        return self.counters
 
     def state(self) -> dict:
         """Full copyable state (counters + histogram contents)."""
         return {
-            "counters": dict(self.counters),
+            "counters": self.counters,
             "histograms": {key: dict(hist.buckets)
                            for key, hist in self.histograms.items()},
         }
 
     def load_state(self, state: dict) -> None:
-        """Restore :meth:`state` in place, preserving cached Histogram
-        object identity for keys that still exist."""
-        self.counters.clear()
-        self.counters.update(state["counters"])
+        """Restore :meth:`state` in place, preserving cached Histogram and
+        StatCell object identity for keys that still exist (cells absent
+        from the saved state are zeroed, not dropped)."""
+        saved_counters = state["counters"]
+        for key, cell in self._cells.items():
+            cell.value = saved_counters.get(key, 0)
+        for key, value in saved_counters.items():
+            if key not in self._cells:
+                self._cells[key] = StatCell(value)
         saved = state["histograms"]
         for key in list(self.histograms):
             if key not in saved:
@@ -231,7 +278,7 @@ class StatGroup:
 
     def merge(self, other: "StatGroup") -> None:
         for key, value in other.counters.items():
-            self.counters[key] += value
+            self.incr(key, value)
         for key, hist in other.histograms.items():
             self.histogram(key).merge(hist)
 

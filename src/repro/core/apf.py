@@ -90,6 +90,21 @@ class APFEngine:
         self.buffers: List[Optional[AlternatePathBuffer]] = \
             [None] * config.num_buffers
         self.dpip_pending: Optional[InflightBranch] = None
+        # hot-path aliases and stat cells
+        self._fe_width = frontend_config.width
+        self._pipeline_depth = config.pipeline_depth
+        self._buffer_cap = config.buffer_capacity_uops
+        self._shadow_queue_entries = config.shadow_branch_queue_entries
+        self.collect = True            # core toggles this across warmup
+        self._c_jobs_started = stats.counter("apf_jobs_started")
+        self._c_active_cycles = stats.counter("apf_active_cycles")
+        self._c_jobs_completed = stats.counter("apf_jobs_completed")
+        self._c_bank_conflicts = stats.counter("apf_bank_conflict_cycles")
+        self._c_icache_terms = stats.counter("apf_icache_terminations")
+        self._c_icache_prefetches = stats.counter("apf_icache_prefetches")
+        self._c_fetched_uops = stats.counter("apf_fetched_uops")
+        self._c_ras_terms = stats.counter("apf_ras_terminations")
+        self._c_indirect_terms = stats.counter("apf_indirect_terminations")
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -201,9 +216,31 @@ class APFEngine:
         self.active_job = job
         if self.dpip_pending is rec:
             self.dpip_pending = None
-        self.stats.incr("apf_jobs_started")
+        if self.collect:
+            self._c_jobs_started.value += 1
 
     # -- per-cycle operation ----------------------------------------------------
+
+    def next_wakeup(self, now: int,
+                    inflight: List[InflightBranch]) -> Optional[int]:
+        """Earliest future cycle at which :meth:`cycle` would do real work.
+
+        ``now + 1`` while a job is active, a completed job can drain into
+        a free buffer, or a startable candidate is waiting; ``None`` when
+        the engine is provably idle until some *other* event (a branch
+        resolution releasing a buffer, or fetch producing a new H2P
+        candidate) changes its inputs — the core re-evaluates after every
+        non-skipped cycle, so those transitions are never missed.
+        """
+        if self.active_job is not None:
+            return now + 1
+        if self.held_job is not None:
+            if not self.is_dpip and self.free_buffer_index() >= 0:
+                return now + 1
+            return None   # parked until a resolve/retire frees a buffer
+        if self.select_candidate(inflight) is not None:
+            return now + 1
+        return None
 
     def cycle(self, now: int, inflight: List[InflightBranch],
               main_history: SpeculativeHistory, main_ras,
@@ -215,21 +252,22 @@ class APFEngine:
         main path only (time-sharing) — the pipeline still ages.
         """
         self._try_drain_held()
-        if self.active_job is None and not self.pipeline_busy():
+        if self.active_job is None and self.held_job is None:
             candidate = self.select_candidate(inflight)
             if candidate is not None:
                 self.start_job(candidate, main_history, main_ras)
         job = self.active_job
         if job is None:
             return
-        self.stats.incr("apf_active_cycles")
+        if self.collect:
+            self._c_active_cycles.value += 1
         job.total_cycles += 1
         if can_fetch and not job.terminated and not job.dead \
-                and job.total_cycles <= self.config.pipeline_depth:
+                and job.total_cycles <= self._pipeline_depth:
             self._fetch_cycle(job, now, blocked_tage_banks,
                               blocked_icache_banks)
-        if (job.total_cycles >= self.config.pipeline_depth
-                or len(job.uops) >= self.config.buffer_capacity_uops
+        if (job.total_cycles >= self._pipeline_depth
+                or len(job.uops) >= self._buffer_cap
                 or job.terminated or job.dead):
             self._complete_job(job)
 
@@ -249,7 +287,8 @@ class APFEngine:
     def _complete_job(self, job: APFJob) -> None:
         job.complete = True
         self.active_job = None
-        self.stats.incr("apf_jobs_completed")
+        if self.collect:
+            self._c_jobs_completed.value += 1
         if self.is_dpip:
             # DPIP holds its single path until the branch resolves
             self.held_job = job
@@ -271,8 +310,11 @@ class APFEngine:
         fetched = 0
         self._bank_checked = False   # one predictor access per cycle
         current_half_line = -1       # 32B chunks are separate bank accesses
-        for _slot in range(self.fe.width):
-            su = self.program.uop_at(job.pc)
+        uop_at = self.program.uop_at
+        job_uops = job.uops
+        buffer_cap = self._buffer_cap
+        for _slot in range(self._fe_width):
+            su = uop_at(job.pc)
             if su is None or su.op is Op.HALT:
                 job.dead = True
                 break
@@ -280,8 +322,8 @@ class APFEngine:
             if half_line != current_half_line:
                 bank = icache_bank_bits(job.pc)
                 if bank in blocked_icache_banks:
-                    if not fetched:
-                        self.stats.incr("apf_bank_conflict_cycles")
+                    if not fetched and self.collect:
+                        self._c_bank_conflicts.value += 1
                     break   # this chunk retries next cycle
                 # APF terminates on an I-cache miss; by default the miss is
                 # not sent to memory (Section III-A). The optional extension
@@ -289,10 +331,12 @@ class APFEngine:
                 # prefetching layered on APF).
                 if not self.hierarchy.icache.probe(job.pc):
                     job.terminated = True
-                    self.stats.incr("apf_icache_terminations")
+                    if self.collect:
+                        self._c_icache_terms.value += 1
                     if self.config.prefetch_alternate_icache:
                         self.hierarchy.ifetch(job.pc, now)
-                        self.stats.incr("apf_icache_prefetches")
+                        if self.collect:
+                            self._c_icache_prefetches.value += 1
                     break
                 current_half_line = half_line
             if su.is_branch:
@@ -306,14 +350,15 @@ class APFEngine:
                 if self._shadow_taken:
                     break
             else:
-                job.uops.append(BufferedUop(su))
+                job_uops.append(BufferedUop(su))
                 job.pc = su.fallthrough
                 fetched += 1
-            if len(job.uops) >= self.config.buffer_capacity_uops:
+            if len(job_uops) >= buffer_cap:
                 break
         if fetched:
             job.fetch_cycles += 1
-            self.stats.incr("apf_fetched_uops", fetched)
+            if self.collect:
+                self._c_fetched_uops.value += fetched
 
     def _shadow_branch(self, job: APFJob, su,
                        blocked_tage_banks: set, stalled: bool = True) -> bool:
@@ -325,15 +370,15 @@ class APFEngine:
             if not self._bank_checked:
                 # the alternate path's single predictor access this cycle
                 if self.bu.bank_of(su.pc) in blocked_tage_banks:
-                    if stalled:
-                        self.stats.incr("apf_bank_conflict_cycles")
+                    if stalled and self.collect:
+                        self._c_bank_conflicts.value += 1
                     return False
                 self._bank_checked = True
             pred = self.bu.predictor.predict(
                 su.pc, job.history.ghr, job.history.path)
             h2p = False
             low = False
-            if job.shadow_branches < self.config.shadow_branch_queue_entries:
+            if job.shadow_branches < self._shadow_queue_entries:
                 h2p = self.bu.h2p_table.is_h2p(su.pc)
                 low = pred.low_confidence
                 job.shadow_branches += 1
@@ -366,7 +411,8 @@ class APFEngine:
             target = job.shadow_ras.pop()
             if target is None:
                 job.terminated = True
-                self.stats.incr("apf_ras_terminations")
+                if self.collect:
+                    self._c_ras_terms.value += 1
                 return True
             job.uops.append(BufferedUop(
                 su, predicted_taken=True, predicted_target=target,
@@ -379,5 +425,6 @@ class APFEngine:
             return True
         # indirect: APF stops (the indirect predictor is not banked)
         job.terminated = True
-        self.stats.incr("apf_indirect_terminations")
+        if self.collect:
+            self._c_indirect_terms.value += 1
         return True

@@ -108,6 +108,23 @@ class MainFetchEngine:
         self.cycle_icache_banks: set = set()
         # branch records created this cycle (core collects them)
         self.new_branches: List[InflightBranch] = []
+        # hot-path aliases: trace columns, frontend scalars, stat cells
+        self._trace_uops = trace.uops
+        self._trace_taken = trace.taken
+        self._trace_next_pc = trace.next_pc
+        self._trace_mem_addr = trace.mem_addr
+        self._trace_len = len(trace)
+        self._width = self.fe.width
+        self._depth = self.fe.depth
+        self._uop_bytes = self.fe.uop_bytes
+        self._icache_hit_latency = hierarchy.icache.config.hit_latency
+        self.collect = True            # core toggles this across warmup
+        self._c_fetch_cycles = stats.counter("fetch_cycles")
+        self._c_fetched_uops = stats.counter("fetched_uops")
+        self._c_icache_stall = stats.counter("icache_miss_stall_cycles")
+        self._c_btb_misfetches = stats.counter("btb_misfetches")
+        self._c_dir_mispredicts = stats.counter("fetch_direction_mispredicts")
+        self._c_tgt_mispredicts = stats.counter("fetch_target_mispredicts")
 
     # -- checkpointing -----------------------------------------------------
 
@@ -168,40 +185,64 @@ class MainFetchEngine:
         return not self.dead and now >= self.stall_until \
             and self.current_fetch_pc() is not None
 
+    def next_wakeup(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which fetch could produce a bundle.
+
+        Returns ``None`` when fetch is permanently idle (dead path or
+        trace exhausted); otherwise the end of the current stall window,
+        or ``now + 1`` when fetch is already unstalled (it can fetch every
+        cycle). The FTQ-full case is the *core's* condition, not ours —
+        the core accounts for it when computing the skip.
+        """
+        if self.dead or self.current_fetch_pc() is None:
+            return None
+        return self.stall_until if self.stall_until > now else now + 1
+
     def step(self, now: int) -> Optional[Bundle]:
         """Fetch one bundle; publishes bank usage for this cycle."""
-        self.cycle_tage_banks = set()
-        self.cycle_icache_banks = set()
-        self.new_branches = []
-        if not self.can_fetch(now):
+        self.cycle_tage_banks.clear()
+        self.cycle_icache_banks.clear()
+        self.new_branches.clear()
+        if self.dead or now < self.stall_until:
             return None
-        start_pc = self.current_fetch_pc()
+        if self.wrong_path:
+            start_pc = self.pc
+        elif self.cursor < self._trace_len:
+            start_pc = self._trace_uops[self.cursor].pc
+        else:
+            return None
         uops: List[DynUop] = []
-        for _slot in range(self.fe.width):
-            du = self._fetch_one(now)
+        append = uops.append
+        fetch_one = self._fetch_one
+        for _slot in range(self._width):
+            du = fetch_one(now)
             if du is None:
                 break
-            uops.append(du)
+            append(du)
             if du.static.is_branch and self._bundle_ended:
                 break
         if not uops:
             return None
-        self.stats.incr("fetch_cycles")
-        self.stats.incr("fetched_uops", len(uops))
-        ready = now + self.fe.depth
+        if self.collect:
+            self._c_fetch_cycles.value += 1
+            self._c_fetched_uops.value += len(uops)
+        ready = now + self._depth
         self.cycle_icache_banks.update(
-            fetch_banks_touched(start_pc, len(uops) * self.fe.uop_bytes))
+            fetch_banks_touched(start_pc, len(uops) * self._uop_bytes))
         latency = self.hierarchy.ifetch(start_pc, now)
-        extra = latency - self.hierarchy.icache.config.hit_latency
+        extra = latency - self._icache_hit_latency
         if extra > 0:
-            self.stats.incr("icache_miss_stall_cycles", extra)
+            if self.collect:
+                self._c_icache_stall.value += extra
             ready += extra
-            self.stall_until = max(self.stall_until, now + 1 + extra)
+            if now + 1 + extra > self.stall_until:
+                self.stall_until = now + 1 + extra
         return Bundle(uops, now, ready, start_pc)
 
     def _fetch_one(self, now: int) -> Optional[DynUop]:
         self._bundle_ended = False
-        if self.wrong_path:
+        wrong_path = self.wrong_path
+        if wrong_path:
             su = self.program.uop_at(self.pc)
             if su is None or su.op is Op.HALT:
                 self.dead = True
@@ -210,18 +251,21 @@ class MainFetchEngine:
             mem_addr = (synthetic_address(self.program, su.pc, self.seq)
                         if su.is_mem else 0)
         else:
-            if self.cursor >= len(self.trace):
+            cursor = self.cursor
+            if cursor >= self._trace_len:
                 self.dead = True
                 return None
-            su = self.trace.uops[self.cursor]
-            trace_index = self.cursor
-            mem_addr = self.trace.mem_addr[self.cursor]
-        du = DynUop(self.seq, su, trace_index, self.wrong_path, mem_addr)
+            su = self._trace_uops[cursor]
+            trace_index = cursor
+            mem_addr = self._trace_mem_addr[cursor]
+        du = DynUop(self.seq, su, trace_index, wrong_path, mem_addr)
         self.seq += 1
         if su.is_branch:
             self._handle_branch(du, now)
+        elif wrong_path:
+            self.pc = su.fallthrough
         else:
-            self._advance_sequential(su)
+            self.cursor = trace_index + 1
         return du
 
     def _advance_sequential(self, su) -> None:
@@ -240,9 +284,10 @@ class MainFetchEngine:
         rec.ghr_at_predict = self.history.ghr
         rec.path_at_predict = self.history.path
         if not self.wrong_path:
-            rec.recovery_cursor = self.cursor + 1
-            rec.actual_taken = self.trace.taken[self.cursor]
-            rec.actual_next_pc = self.trace.next_pc[self.cursor]
+            cursor = self.cursor
+            rec.recovery_cursor = cursor + 1
+            rec.actual_taken = self._trace_taken[cursor]
+            rec.actual_next_pc = self._trace_next_pc[cursor]
         du.branch = rec
         self.new_branches.append(rec)
         return rec
@@ -251,7 +296,8 @@ class MainFetchEngine:
         """Model the misfetch stall for taken branches absent from the BTB."""
         hit = self.bu.btb.lookup(su.pc)
         if hit is None:
-            self.stats.incr("btb_misfetches")
+            if self.collect:
+                self._c_btb_misfetches.value += 1
             self.stall_until = max(self.stall_until,
                                    now + 1 + self.misfetch_penalty)
             target = su.target if su.target >= 0 else su.fallthrough
@@ -281,7 +327,8 @@ class MainFetchEngine:
                 self.pc = rec.predicted_target
             elif pred.taken != rec.actual_taken:
                 rec.mispredict = True
-                self.stats.incr("fetch_direction_mispredicts")
+                if self.collect:
+                    self._c_dir_mispredicts.value += 1
                 self.wrong_path = True
                 self.pc = rec.predicted_target
             else:
@@ -313,7 +360,8 @@ class MainFetchEngine:
                     self.pc = target
             elif target != rec.actual_next_pc:
                 rec.mispredict = True
-                self.stats.incr("fetch_target_mispredicts")
+                if self.collect:
+                    self._c_tgt_mispredicts.value += 1
                 if target is None:
                     self.dead = True
                 else:
@@ -337,7 +385,8 @@ class MainFetchEngine:
                 self.dead = True
         elif target != rec.actual_next_pc:
             rec.mispredict = True
-            self.stats.incr("fetch_target_mispredicts")
+            if self.collect:
+                self._c_tgt_mispredicts.value += 1
             self.wrong_path = True
             self.pc = target
             if self.program.uop_at(target) is None:

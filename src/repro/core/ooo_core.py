@@ -6,6 +6,13 @@ the backend computes issue/completion timing at allocation with real FU and
 cache contention; branches resolve at their computed completion cycle, at
 which point recovery either pays the full pipeline re-fill delay or — with
 APF — restores the buffered alternate path (Section V-G).
+
+The main loop is event-driven: after executing a cycle the core asks every
+stage for its next actionable cycle (:meth:`OoOCore._next_cycle`) and jumps
+``now`` straight there when the intervening cycles are provably idle. A
+forced reference mode (``run(..., cycle_by_cycle=True)``) ticks every cycle
+instead; both modes are bit-identical in timing and statistics (see
+``docs/ARCHITECTURE.md`` and ``tests/test_loop_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +46,11 @@ from repro.core.fetch_engine import (
 from repro.core.uops import BufferedUop, DynUop, InflightBranch
 
 __all__ = ["OoOCore"]
+
+#: branch kinds that resolve through the event heap (everything that can
+#: mispredict: direct jumps/calls never enqueue a resolution event)
+_EVENT_KINDS = (BranchKind.CONDITIONAL, BranchKind.RETURN,
+                BranchKind.INDIRECT)
 
 
 def _materialize_ras(main_snapshot: Tuple[int, ...],
@@ -107,42 +119,284 @@ class OoOCore:
             self.apf = APFEngine(apf_cfg, self.branch_unit, program,
                                  self.hierarchy, config.frontend, self.stats)
 
+        # structural limits and loop constants, cached off the config
+        be = config.backend
+        self._allocate_width = be.allocate_width
+        self._retire_width = be.retire_width
+        self._rob_entries = be.rob_entries
+        self._sched_entries = be.scheduler_entries
+        self._lq_entries = be.load_queue_entries
+        self._sq_entries = be.store_queue_entries
+        self._agen_latency = be.agen_latency
+        self._ftq_entries = config.frontend.fetch_queue_entries
+        self._trim_mask = config.exec_trim_mask
+        self._trim_horizon = config.exec_trim_horizon
+        self._scheme = apf_cfg.fetch_scheme if apf_cfg.enabled else None
+        self._ts_main = apf_cfg.timeshare_main_cycles
+        self._ts_period = (apf_cfg.timeshare_main_cycles
+                           + apf_cfg.timeshare_alt_cycles)
+
+        # hot-path counter cells (see repro.common.statistics.StatCell)
+        stats = self.stats
+        self._c_recoveries = stats.counter("recoveries")
+        self._c_apf_restores = stats.counter("apf_restores")
+        self._c_apf_restored_uops = stats.counter("apf_restored_uops")
+        self._c_retired_loads = stats.counter("retired_loads")
+        self._c_retired_stores = stats.counter("retired_stores")
+        self._c_cond_branches = stats.counter("cond_branches")
+        self._c_cond_mispredicts = stats.counter("cond_mispredicts")
+        self._c_h2p_marked = stats.counter("h2p_marked")
+        self._c_h2p_marked_mis = stats.counter("h2p_marked_mis")
+        self._c_lowconf_marked = stats.counter("lowconf_marked")
+        self._c_lowconf_marked_mis = stats.counter("lowconf_marked_mis")
+        self._c_indirect_branches = stats.counter("indirect_branches")
+        self._c_indirect_mispredicts = stats.counter("indirect_mispredicts")
+        self._c_returns = stats.counter("returns")
+        self._c_return_mispredicts = stats.counter("return_mispredicts")
+        self._c_stall_rob = stats.counter("stall_rob_full")
+        self._c_stall_sched = stats.counter("stall_scheduler_full")
+        self._c_stall_lq = stats.counter("stall_lq_full")
+        self._c_stall_sq = stats.counter("stall_sq_full")
+        self._c_stall_ftq = stats.counter("stall_ftq_full")
+        self._c_timeshare_alt = stats.counter("timeshare_alt_cycles")
+        self._c_cycle_cap_hit = stats.counter("cycle_cap_hit")
+
         self.now = 0
         self.retired = 0
         self.warmup_target = 0
         self.warmup_cycle = -1
         self.warmup_snapshot: dict = {}
-        self._collect = True   # histogram collection flag (post-warmup)
+        self._collect = True   # statistics collection flag (post-warmup)
+        #: stall counter a blocked allocation would fire during a skipped
+        #: window (set by _next_cycle, batched by _run_skipping)
+        self._stall_cell = None
+        #: latched True when a run() exhausts max_cycles before retiring its
+        #: target — surfaced as a warning in the run manifest
+        self.cycle_cap_hit = False
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
 
     def run(self, max_instructions: int, warmup: int = 0,
-            max_cycles: int = 0) -> None:
-        """Simulate until ``max_instructions`` retire (or ``max_cycles``)."""
+            max_cycles: int = 0, cycle_by_cycle: bool = False) -> None:
+        """Simulate until ``max_instructions`` retire (or ``max_cycles``).
+
+        The default loop skips over provably idle cycles; pass
+        ``cycle_by_cycle=True`` to force the plain per-cycle reference
+        loop. Both modes produce bit-identical timing and statistics.
+        """
         self.warmup_target = warmup
-        self._collect = warmup == 0
+        self._set_collect(warmup == 0)
         if not max_cycles:
             max_cycles = 400 * max_instructions
         target = min(max_instructions, len(self.trace))
-        while self.retired < target and self.now < max_cycles:
-            self._process_events()
-            self._retire()
-            self._allocate()
-            self._fetch_and_apf()
-            self.now += 1
-            if (self.now & 0x3FFF) == 0:
-                self.exec.trim(self.now - 2048)
+        if cycle_by_cycle:
+            self._run_reference(target, max_cycles)
+        else:
+            self._run_skipping(target, max_cycles)
+        if self.retired < target and self.now >= max_cycles:
+            self.cycle_cap_hit = True
+            self._c_cycle_cap_hit.value += 1
         self.stats.set("cycles", self.now)
         self.stats.set("retired", self.retired)
 
+    def _run_reference(self, target: int, max_cycles: int) -> None:
+        """The pre-optimization loop: tick every cycle."""
+        trim_mask = self._trim_mask
+        trim_horizon = self._trim_horizon
+        events = self.events
+        rob = self.rob
+        while self.retired < target and self.now < max_cycles:
+            now = self.now
+            # the gated phases open with exactly these head-due checks, so
+            # skipping the call is the no-op the phase would have been
+            if events and events[0][0] <= now:
+                self._process_events()
+            if rob and rob[0].done_cycle <= now:
+                self._retire()
+            self._allocate()
+            self._fetch_and_apf()
+            self.now += 1
+            if (self.now & trim_mask) == 0:
+                self.exec.trim(self.now - trim_horizon)
+
+    def _run_skipping(self, target: int, max_cycles: int) -> None:
+        """Event-driven loop: execute a cycle, then jump to the next
+        actionable one.
+
+        The only per-cycle statistics a skipped window would have produced
+        are the stall counters: ``stall_ftq_full`` (the frontend spinning
+        against a full fetch queue) and whichever single backend stall
+        counter a blocked head-of-queue allocation fires (the first failing
+        check in :meth:`_has_backend_space` is a pure function of state
+        that cannot change inside the window). Both are batch-incremented
+        by the skip length; every other skipped cycle is a complete no-op
+        by construction of :meth:`_next_cycle`.
+        """
+        trim_mask = self._trim_mask
+        trim_horizon = self._trim_horizon
+        next_trim = (self.now | trim_mask) + 1
+        ftq = self.ftq
+        ftq_entries = self._ftq_entries
+        stall_ftq = self._c_stall_ftq
+        events = self.events
+        rob = self.rob
+        while self.retired < target and self.now < max_cycles:
+            now = self.now
+            if events and events[0][0] <= now:
+                self._process_events()
+            if rob and rob[0].done_cycle <= now:
+                self._retire()
+            self._allocate()
+            self._fetch_and_apf()
+            if self.retired >= target:
+                # the reference loop ticks once more before noticing the
+                # target was hit; mirror that, not a wakeup jump
+                self.now += 1
+                if self.now >= next_trim:
+                    self.exec.trim(self.now - trim_horizon)
+                break
+            self._stall_cell = None
+            nxt = self._next_cycle()
+            if nxt is None or nxt > max_cycles:
+                # deadlocked (or capped): nothing can ever progress, so the
+                # reference loop would spin idle to the cycle cap
+                nxt = max_cycles
+            skipped = nxt - self.now - 1
+            if skipped > 0 and self._collect:
+                cell = self._stall_cell
+                if cell is not None:
+                    cell.value += skipped
+                if len(ftq) >= ftq_entries:
+                    stall_ftq.value += skipped
+            self.now = nxt
+            if nxt >= next_trim:
+                self.exec.trim(nxt - trim_horizon)
+                next_trim = (nxt | trim_mask) + 1
+
+    def _next_cycle(self) -> Optional[int]:
+        """Earliest cycle after ``now`` at which any stage can progress,
+        or ``None`` if no stage can ever progress again.
+
+        Called after the current cycle's phases have run, so anything
+        actionable at or before ``now`` means "try again next cycle"
+        (``now + 1``) — that keeps budget-limited retire/allocate
+        accounting exactly as the reference loop produces it. Skips
+        therefore only open up when every queue head is provably parked
+        until a known future cycle:
+
+        * the event heap's next branch resolution,
+        * the ROB head's completion cycle,
+        * the restore queue / FTQ head's ready cycle — or, when the head
+          is ready but *blocked* on a full backend structure, the cycle
+          that structure can change occupancy (ROB/LQ/SQ drain only at
+          retire or flush, both already wake candidates; a full scheduler
+          frees slots when its earliest entry expires). A blocked head
+          fires exactly one stall counter per reference cycle, recorded
+          in ``_stall_cell`` for the caller to batch,
+        * the fetch engine's own wakeup (only when the FTQ has room —
+          a full FTQ gates fetch entirely), and
+        * the APF engine's wakeup.
+        """
+        now = self.now
+        horizon = now + 1
+        best = None
+        rob = self.rob
+        if rob:
+            t = rob[0].done_cycle
+            if t <= horizon:
+                return horizon
+            best = t
+        events = self.events
+        if events:
+            t = events[0][0]
+            if t <= horizon:
+                return horizon
+            if best is None or t < best:
+                best = t
+        pending = None
+        rq = self.restore_queue
+        if rq:
+            t = rq[0][0]
+            if t <= now:
+                pending = rq[0][1]
+            else:
+                if t == horizon:
+                    return horizon
+                if best is None or t < best:
+                    best = t
+        ftq = self.ftq
+        if ftq:
+            head = ftq[0]
+            bundle = head[0]
+            if head[1] >= len(bundle.uops):
+                return horizon   # exhausted head bundle: popped next cycle
+            if pending is None:
+                t = bundle.ready_cycle
+                if t <= now:
+                    pending = bundle.uops[head[1]]
+                else:
+                    if t == horizon:
+                        return horizon
+                    if best is None or t < best:
+                        best = t
+        if pending is not None:
+            # a ready head that this cycle's _allocate did not take: either
+            # the backend is full (skippable; the same stall counter fires
+            # every cycle until a wake source frees the structure) or the
+            # allocate budget ran out (real progress next cycle)
+            if len(rob) >= self._rob_entries:
+                self._stall_cell = self._c_stall_rob
+            elif len(self.sched_heap) >= self._sched_entries:
+                self._stall_cell = self._c_stall_sched
+                # scheduler slots also free by pure passage of time: the
+                # heap head is its earliest expiry (> now — _allocate
+                # already popped everything due)
+                t = self.sched_heap[0]
+                if t <= horizon:
+                    return horizon
+                if best is None or t < best:
+                    best = t
+            else:
+                op = pending.static.op
+                if op is Op.LOAD and self.load_count >= self._lq_entries:
+                    self._stall_cell = self._c_stall_lq
+                elif op is Op.STORE \
+                        and self.store_count >= self._sq_entries:
+                    self._stall_cell = self._c_stall_sq
+                else:
+                    return horizon
+        if len(ftq) < self._ftq_entries:
+            t = self.fetch.next_wakeup(now)
+            if t is not None:
+                if t <= horizon:
+                    return horizon
+                if best is None or t < best:
+                    best = t
+        apf = self.apf
+        if apf is not None:
+            t = apf.next_wakeup(now, self.inflight)
+            if t is not None:
+                if t <= horizon:
+                    return horizon
+                if best is None or t < best:
+                    best = t
+        return best
+
     # measured-window helpers ------------------------------------------------
+
+    def _set_collect(self, flag: bool) -> None:
+        """Flip statistics collection for the core and both fetch paths."""
+        self._collect = flag
+        self.fetch.collect = flag
+        if self.apf is not None:
+            self.apf.collect = flag
 
     def _cross_warmup(self) -> None:
         self.warmup_cycle = self.now
         self.warmup_snapshot = self.stats.snapshot()
-        self._collect = True
+        self._set_collect(True)
 
     def measured(self, key: str) -> int:
         return self.stats.get(key) - self.warmup_snapshot.get(key, 0)
@@ -253,7 +507,7 @@ class OoOCore:
         self.warmup_target = state["warmup_target"]
         self.warmup_cycle = state["warmup_cycle"]
         self.warmup_snapshot = dict(state["warmup_snapshot"])
-        self._collect = state["collect"]
+        self._set_collect(state["collect"])
         self.stats.load_state(state["stats"])
         self.fetch.restore(state["fetch"])
         self.rename.restore_state(state["rename"])
@@ -270,8 +524,13 @@ class OoOCore:
     # ------------------------------------------------------------------
 
     def _process_events(self) -> None:
-        while self.events and self.events[0][0] <= self.now:
-            _cycle, _seq, rec = heapq.heappop(self.events)
+        events = self.events
+        now = self.now
+        if not events or events[0][0] > now:
+            return
+        heappop = heapq.heappop
+        while events and events[0][0] <= now:
+            rec = heappop(events)[2]
             if rec.squashed or rec.resolved:
                 continue
             self._resolve(rec)
@@ -282,7 +541,7 @@ class OoOCore:
             if self.apf is not None:
                 self.apf.release_branch(rec)
             return
-        self.stats.incr("recoveries")
+        self._c_recoveries.value += 1
         if rec.is_conditional:
             self.h2p_table.record_misprediction(rec.pc)
         self._flush_younger(rec.seq)
@@ -299,9 +558,8 @@ class OoOCore:
                 hist.add(0)
             else:
                 hist.add(-1)   # misprediction on a branch never marked
-
         if buffer is not None and buffer.uops:
-            self.stats.incr("apf_restores")
+            self._c_apf_restores.value += 1
             self._restore_from_buffer(rec, buffer)
         else:
             self._plain_recovery(rec)
@@ -395,7 +653,7 @@ class OoOCore:
             if bypass_alloc:
                 ready = self.now
             self.restore_queue.append((ready, du))
-        self.stats.incr("apf_restored_uops", len(buffer.uops))
+        self._c_apf_restored_uops.value += len(buffer.uops)
 
         # frontend state fast-forwards to the end of the alternate path
         fetch.history.ghr = buffer.end_ghr
@@ -448,88 +706,140 @@ class OoOCore:
     # ------------------------------------------------------------------
 
     def _has_backend_space(self, du: DynUop) -> bool:
-        be = self.config.backend
-        if len(self.rob) >= be.rob_entries:
-            self.stats.incr("stall_rob_full")
+        if len(self.rob) >= self._rob_entries:
+            if self._collect:
+                self._c_stall_rob.value += 1
             return False
-        if len(self.sched_heap) >= be.scheduler_entries:
-            self.stats.incr("stall_scheduler_full")
+        if len(self.sched_heap) >= self._sched_entries:
+            if self._collect:
+                self._c_stall_sched.value += 1
             return False
         op = du.static.op
-        if op is Op.LOAD and self.load_count >= be.load_queue_entries:
-            self.stats.incr("stall_lq_full")
+        if op is Op.LOAD and self.load_count >= self._lq_entries:
+            if self._collect:
+                self._c_stall_lq.value += 1
             return False
-        if op is Op.STORE and self.store_count >= be.store_queue_entries:
-            self.stats.incr("stall_sq_full")
+        if op is Op.STORE and self.store_count >= self._sq_entries:
+            if self._collect:
+                self._c_stall_sq.value += 1
             return False
         return True
 
     def _allocate(self) -> None:
-        while self.sched_heap and self.sched_heap[0] <= self.now:
-            heapq.heappop(self.sched_heap)
-        budget = self.config.backend.allocate_width
+        now = self.now
+        sched = self.sched_heap
+        if sched and sched[0] <= now:
+            heappop = heapq.heappop
+            while sched and sched[0] <= now:
+                heappop(sched)
+        budget = self._allocate_width
+        rob = self.rob
+        rob_entries = self._rob_entries
+        sched_entries = self._sched_entries
+        collect = self._collect
+        allocate_uop = self._allocate_uop
         rq = self.restore_queue
-        while budget and rq and rq[0][0] <= self.now:
+        while budget and rq and rq[0][0] <= now:
             du = rq[0][1]
-            if not self._has_backend_space(du):
+            # inlined _has_backend_space (allocation hot path)
+            if len(rob) >= rob_entries:
+                if collect:
+                    self._c_stall_rob.value += 1
+                return
+            if len(sched) >= sched_entries:
+                if collect:
+                    self._c_stall_sched.value += 1
+                return
+            op = du.static.op
+            if op is Op.LOAD and self.load_count >= self._lq_entries:
+                if collect:
+                    self._c_stall_lq.value += 1
+                return
+            if op is Op.STORE and self.store_count >= self._sq_entries:
+                if collect:
+                    self._c_stall_sq.value += 1
                 return
             rq.popleft()
-            self._allocate_uop(du)
+            allocate_uop(du)
             budget -= 1
         ftq = self.ftq
         while budget and ftq:
-            bundle, index = ftq[0]
-            if bundle.ready_cycle > self.now or index >= len(bundle.uops):
-                if index >= len(bundle.uops):
-                    ftq.popleft()
-                    continue
-                break
-            du = bundle.uops[index]
-            if not self._has_backend_space(du):
-                return
-            ftq[0][1] += 1
-            if ftq[0][1] >= len(bundle.uops):
+            head = ftq[0]
+            bundle = head[0]
+            index = head[1]
+            uops = bundle.uops
+            if index >= len(uops):
                 ftq.popleft()
-            self._allocate_uop(du)
+                continue
+            if bundle.ready_cycle > now:
+                break
+            du = uops[index]
+            if len(rob) >= rob_entries:
+                if collect:
+                    self._c_stall_rob.value += 1
+                return
+            if len(sched) >= sched_entries:
+                if collect:
+                    self._c_stall_sched.value += 1
+                return
+            op = du.static.op
+            if op is Op.LOAD and self.load_count >= self._lq_entries:
+                if collect:
+                    self._c_stall_lq.value += 1
+                return
+            if op is Op.STORE and self.store_count >= self._sq_entries:
+                if collect:
+                    self._c_stall_sq.value += 1
+                return
+            head[1] = index + 1
+            if index + 1 >= len(uops):
+                ftq.popleft()
+            allocate_uop(du)
             budget -= 1
 
     def _allocate_uop(self, du: DynUop) -> None:
         now = self.now
         rename = self.rename
+        source_ready = rename.source_ready
         su = du.static
         ready = now + 1
-        for src in su.sources():
-            tag_ready = rename.ready_cycle(rename.lookup(src))
+        src = su.src1
+        if src >= 0:
+            tag_ready = source_ready(src)
+            if tag_ready > ready:
+                ready = tag_ready
+        src = su.src2
+        if src >= 0:
+            tag_ready = source_ready(src)
             if tag_ready > ready:
                 ready = tag_ready
         rec = du.branch
         if rec is not None and not rec.allocated:
             rec.rat_checkpoint = rename.checkpoint()
             rec.allocated = True
-        fu = self.exec.fu_class(su.op)
-        issue = self.exec.schedule(fu, ready)
+        exec_model = self.exec
         op = su.op
+        fu = exec_model.fu_class(op)
+        issue = exec_model.schedule(fu, ready)
         if op is Op.LOAD:
-            agen_done = issue + self.config.backend.agen_latency
+            agen_done = issue + self._agen_latency
             latency = self.hierarchy.dload(du.mem_addr, agen_done)
             latency += self.dtlb.access(du.mem_addr)
             done = agen_done + latency
             self.load_count += 1
         elif op is Op.STORE:
-            done = issue + self.config.backend.agen_latency
+            done = issue + self._agen_latency
             self.hierarchy.dstore(du.mem_addr, done)
             self.store_count += 1
         else:
-            done = issue + self.exec.latency(fu)
+            done = issue + exec_model.latency(fu)
         if su.dest >= 0:
-            tag = rename.allocate(su.dest)
-            rename.set_ready(tag, done)
+            rename.set_ready(rename.allocate(su.dest), done)
         du.done_cycle = done
         self.rob.append(du)
         heapq.heappush(self.sched_heap, issue)
         if rec is not None and rec.on_trace and not rec.resolved \
-                and rec.kind in (BranchKind.CONDITIONAL, BranchKind.RETURN,
-                                 BranchKind.INDIRECT):
+                and rec.kind in _EVENT_KINDS:
             heapq.heappush(self.events, (done, rec.seq, rec))
 
     # ------------------------------------------------------------------
@@ -537,80 +847,87 @@ class OoOCore:
     # ------------------------------------------------------------------
 
     def _retire(self) -> None:
-        budget = self.config.backend.retire_width
         rob = self.rob
-        while budget and rob and rob[0].done_cycle <= self.now:
+        now = self.now
+        if not rob or rob[0].done_cycle > now:
+            return
+        budget = self._retire_width
+        warmup_target = self.warmup_target
+        inflight = self.inflight
+        ticks = 0
+        while budget and rob and rob[0].done_cycle <= now:
             du = rob.popleft()
             budget -= 1
             self.retired += 1
+            ticks += 1
             op = du.static.op
             if op is Op.LOAD:
                 self.load_count -= 1
-                self.stats.incr("retired_loads")
+                self._c_retired_loads.value += 1
             elif op is Op.STORE:
                 self.store_count -= 1
-                self.stats.incr("retired_stores")
+                self._c_retired_stores.value += 1
             rec = du.branch
             if rec is not None:
                 self._finalize_branch(rec)
-                if self.inflight and self.inflight[0] is rec:
-                    self.inflight.popleft()
+                if inflight and inflight[0] is rec:
+                    inflight.popleft()
                 else:   # retire out of deque order is impossible; prune
                     try:
-                        self.inflight.remove(rec)
+                        inflight.remove(rec)
                     except ValueError:
                         pass
-            self.h2p_table.tick_instructions(1)
-            if self.retired == self.warmup_target:
+            if self.retired == warmup_target:
                 self._cross_warmup()
+        # the H2P decrement clock only matters to is_h2p queries, which
+        # happen at fetch — strictly after retire within a cycle — so the
+        # per-uop ticks batch into one call
+        self.h2p_table.tick_instructions(ticks)
 
     def _finalize_branch(self, rec: InflightBranch) -> None:
-        su = rec.uop
-        stats = self.stats
-        if rec.kind is BranchKind.CONDITIONAL:
-            stats.incr("cond_branches")
+        kind = rec.kind
+        if kind is BranchKind.CONDITIONAL:
+            self._c_cond_branches.value += 1
+            su = rec.uop
             backward = 0 <= su.target < su.pc
             self.branch_unit.predictor.update(
                 rec.pc, rec.ghr_at_predict, rec.actual_taken,
                 rec.path_at_predict, backward=backward)
-            if rec.mispredict:
-                stats.incr("cond_mispredicts")
+            mispredict = rec.mispredict
+            if mispredict:
+                self._c_cond_mispredicts.value += 1
             # Table II bookkeeping
             if rec.h2p_marked:
-                stats.incr("h2p_marked")
-                if rec.mispredict:
-                    stats.incr("h2p_marked_mis")
+                self._c_h2p_marked.value += 1
+                if mispredict:
+                    self._c_h2p_marked_mis.value += 1
             if rec.low_conf:
-                stats.incr("lowconf_marked")
-                if rec.mispredict:
-                    stats.incr("lowconf_marked_mis")
-        elif rec.kind is BranchKind.INDIRECT:
-            stats.incr("indirect_branches")
+                self._c_lowconf_marked.value += 1
+                if mispredict:
+                    self._c_lowconf_marked_mis.value += 1
+        elif kind is BranchKind.INDIRECT:
+            self._c_indirect_branches.value += 1
             self.branch_unit.indirect.update(
                 rec.pc, rec.ghr_at_predict, rec.actual_next_pc)
             if rec.mispredict:
-                stats.incr("indirect_mispredicts")
-        elif rec.kind is BranchKind.RETURN:
-            stats.incr("returns")
+                self._c_indirect_mispredicts.value += 1
+        elif kind is BranchKind.RETURN:
+            self._c_returns.value += 1
             if rec.mispredict:
-                stats.incr("return_mispredicts")
+                self._c_return_mispredicts.value += 1
 
     # ------------------------------------------------------------------
     # fetch + APF orchestration
     # ------------------------------------------------------------------
 
     def _fetch_and_apf(self) -> None:
-        fe = self.config.frontend
         apf = self.apf
         if apf is None:
             self._main_fetch()
             return
-        scheme = self.config.apf.fetch_scheme
-        if scheme == FetchScheme.TIME_SHARED:
-            period = (self.config.apf.timeshare_main_cycles
-                      + self.config.apf.timeshare_alt_cycles)
-            apf_turn = (self.now % period) \
-                >= self.config.apf.timeshare_main_cycles
+        scheme = self._scheme
+        if scheme is FetchScheme.TIME_SHARED:
+            apf_turn = (self.now % self._ts_period) >= self._ts_main
             # only give the cycle to the alternate path if it can actually
             # fetch: an active job, or a startable candidate on a free pipe
             can_use = (apf.active_job is not None
@@ -627,11 +944,12 @@ class OoOCore:
                           self.fetch.ras, can_fetch=True,
                           blocked_tage_banks=set(),
                           blocked_icache_banks=set())
-                self.stats.incr("timeshare_alt_cycles")
+                if self._collect:
+                    self._c_timeshare_alt.value += 1
             return
         # banked / dual-port: both paths run every cycle
         fetched = self._main_fetch()
-        if scheme == FetchScheme.DUAL_PORT or not fetched:
+        if scheme is FetchScheme.DUAL_PORT or not fetched:
             blocked_tage: set = set()
             blocked_icache: set = set()
         else:
@@ -641,18 +959,23 @@ class OoOCore:
                   self.fetch.ras, can_fetch=True,
                   blocked_tage_banks=blocked_tage,
                   blocked_icache_banks=blocked_icache)
-        del fe
 
     def _main_fetch(self) -> bool:
-        if len(self.ftq) >= self.config.frontend.fetch_queue_entries:
-            self.stats.incr("stall_ftq_full")
+        if len(self.ftq) >= self._ftq_entries:
+            if self._collect:
+                self._c_stall_ftq.value += 1
             return False
         bundle = self.fetch.step(self.now)
         if bundle is None:
             return False
         self.ftq.append([bundle, 0])
-        for rec in self.fetch.new_branches:
-            self.inflight.append(rec)
-            if self.apf is not None:
-                self.apf.note_new_branch(rec)
+        apf = self.apf
+        inflight_append = self.inflight.append
+        if apf is None:
+            for rec in self.fetch.new_branches:
+                inflight_append(rec)
+        else:
+            for rec in self.fetch.new_branches:
+                inflight_append(rec)
+                apf.note_new_branch(rec)
         return True

@@ -29,6 +29,12 @@ class RenameTable:
     def ready_cycle(self, tag: int) -> int:
         return self._ready.get(tag, 0)
 
+    def source_ready(self, arch_reg: int) -> int:
+        """Ready cycle of ``arch_reg``'s current producer (0 when the
+        value is architecturally available). Fuses lookup + ready_cycle
+        for the allocation hot path."""
+        return self._ready.get(self._rat[arch_reg], 0)
+
     def allocate(self, arch_reg: int) -> int:
         """Map ``arch_reg`` to a fresh tag; caller sets its ready time."""
         tag = self._next_tag

@@ -32,51 +32,61 @@ class Cache:
         self._lru: List[List[int]] = [[] for _ in range(self.num_sets)]
         self._clock = 0
         self.stats = StatGroup(config.name)
+        self._offset_shift = config.line_bytes.bit_length() - 1
+        self._hit_latency = config.hit_latency
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_writes = self.stats.counter("writes")
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_evictions = self.stats.counter("evictions")
 
     def _set_index(self, line: int) -> int:
         return line % self.num_sets
 
     def _offset_bits(self) -> int:
-        return self.config.line_bytes.bit_length() - 1
+        return self._offset_shift
 
     def line_of(self, address: int) -> int:
-        return address >> self._offset_bits()
+        return address >> self._offset_shift
 
     def probe(self, address: int) -> bool:
         """Check residency without updating LRU or allocating."""
-        line = self.line_of(address)
-        return line in self._tags[self._set_index(line)]
+        line = address >> self._offset_shift
+        return line in self._tags[line % self.num_sets]
 
     def access(self, address: int, is_write: bool = False) -> int:
         """Access the line containing ``address``; return total latency."""
         self._clock += 1
-        line = self.line_of(address)
-        set_index = self._set_index(line)
+        line = address >> self._offset_shift
+        set_index = line % self.num_sets
         tags = self._tags[set_index]
-        self.stats.incr("accesses")
+        self._c_accesses.value += 1
         if is_write:
-            self.stats.incr("writes")
-        if line in tags:
-            self.stats.incr("hits")
+            self._c_writes.value += 1
+        try:
             slot = tags.index(line)
+        except ValueError:
+            slot = -1
+        if slot >= 0:
+            self._c_hits.value += 1
             self._lru[set_index][slot] = self._clock
-            return self.config.hit_latency
-        self.stats.incr("misses")
+            return self._hit_latency
+        self._c_misses.value += 1
         if self.next_level is not None:
             fill_latency = self.next_level.access(address, is_write)
         else:
             fill_latency = self.miss_latency
         self._fill(line, set_index)
-        return self.config.hit_latency + fill_latency
+        return self._hit_latency + fill_latency
 
     def _fill(self, line: int, set_index: int) -> None:
         tags = self._tags[set_index]
         lru = self._lru[set_index]
         if len(tags) >= self.config.associativity:
-            victim = min(range(len(tags)), key=lambda i: lru[i])
+            victim = lru.index(min(lru))
             tags[victim] = line
             lru[victim] = self._clock
-            self.stats.incr("evictions")
+            self._c_evictions.value += 1
         else:
             tags.append(line)
             lru.append(self._clock)
@@ -150,8 +160,9 @@ class CacheHierarchy:
 
     def _access(self, first: Cache, address: int, cycle: int,
                 is_write: bool) -> int:
-        llc_misses_before = self.llc.stats.get("misses")
+        llc_miss_cell = self.llc._c_misses
+        llc_misses_before = llc_miss_cell.value
         latency = first.access(address, is_write)
-        if self.llc.stats.get("misses") != llc_misses_before:
+        if llc_miss_cell.value != llc_misses_before:
             latency += self.dram.access(address, cycle)
         return latency

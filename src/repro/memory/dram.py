@@ -20,6 +20,22 @@ class Dram:
         self._open_row = [-1] * config.num_banks
         self._bank_free_at = [0] * config.num_banks
         self.stats = StatGroup("dram")
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_row_hits = self.stats.counter("row_hits")
+        self._c_row_misses = self.stats.counter("row_misses")
+        self._c_row_conflicts = self.stats.counter("row_conflicts")
+
+    def next_wakeup(self, now: int):
+        """Earliest cycle at/after ``now`` DRAM needs ticking: None.
+
+        Like :class:`~repro.backend.exec_model.ExecModel`, DRAM timing is
+        computed in full when :meth:`access` is called (queue delay folded
+        into the returned latency), so there is never a pending DRAM event
+        the core must wake for — completions surface through load
+        ``done_cycle``s and the branch-resolution event heap.
+        """
+        del now
+        return None
 
     def snapshot(self) -> dict:
         return {
@@ -49,18 +65,21 @@ class Dram:
     def access(self, address: int, cycle: int = 0) -> int:
         """Return the latency of a DRAM access issued at ``cycle``."""
         cfg = self.config
-        bank, row = self._bank_and_row(address)
-        self.stats.incr("accesses")
-        queue_delay = max(0, self._bank_free_at[bank] - cycle)
+        row = address // cfg.row_bytes
+        bank = row % cfg.num_banks
+        self._c_accesses.value += 1
+        queue_delay = self._bank_free_at[bank] - cycle
+        if queue_delay < 0:
+            queue_delay = 0
         if self._open_row[bank] == row:
             service = cfg.t_row_hit
-            self.stats.incr("row_hits")
+            self._c_row_hits.value += 1
         elif self._open_row[bank] < 0:
             service = cfg.t_row_miss
-            self.stats.incr("row_misses")
+            self._c_row_misses.value += 1
         else:
             service = cfg.t_row_conflict
-            self.stats.incr("row_conflicts")
+            self._c_row_conflicts.value += 1
         self._open_row[bank] = row
         self._bank_free_at[bank] = cycle + queue_delay + service
         return cfg.channel_latency + queue_delay + service

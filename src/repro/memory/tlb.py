@@ -20,6 +20,8 @@ class TLB:
         self.config = config
         self._entries: OrderedDict = OrderedDict()
         self.stats = StatGroup(name)
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_misses = self.stats.counter("misses")
 
     def snapshot(self) -> dict:
         return {"pages": list(self._entries), "stats": self.stats.state()}
@@ -32,11 +34,11 @@ class TLB:
     def access(self, address: int) -> int:
         """Return extra latency (0 on hit, miss_latency on miss)."""
         page = address // self.config.page_bytes
-        self.stats.incr("accesses")
+        self._c_accesses.value += 1
         if page in self._entries:
             self._entries.move_to_end(page)
             return 0
-        self.stats.incr("misses")
+        self._c_misses.value += 1
         self._entries[page] = True
         if len(self._entries) > self.config.entries:
             self._entries.popitem(last=False)

@@ -1,0 +1,84 @@
+"""Golden equivalence: the event-driven cycle-skipping loop must be
+bit-identical to the per-cycle reference loop.
+
+The skip loop (``run(..., cycle_by_cycle=False)``, the default) jumps
+``now`` across provably idle windows and batch-increments the stall
+counters those windows would have produced. These tests pin the
+non-negotiable invariant from the optimization: cycles, retired count,
+and the *entire* statistics snapshot are equal between the two loops —
+straight runs, warmed-up runs, and runs split by a
+quiesce/snapshot/restore boundary.
+"""
+
+import pytest
+
+from repro.common.config import small_core_config
+from repro.core.ooo_core import OoOCore
+from repro.workloads.profiles import build_workload, workload_trace
+
+WORKLOADS = ["leela", "mcf", "tc"]
+CONFIGS = {
+    "base": lambda: small_core_config(),
+    "apf": lambda: small_core_config().with_apf(),
+}
+TOTAL = 6_000
+SEED = 7
+
+
+def make_core(workload, config_key):
+    program = build_workload(workload)
+    trace = workload_trace(workload, TOTAL)
+    return OoOCore(CONFIGS[config_key](), program, trace, seed=SEED)
+
+
+def fingerprint(core):
+    return {
+        "now": core.now,
+        "retired": core.retired,
+        "counters": core.stats.counters,
+        "ipc": core.ipc(),
+    }
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("config_key", ["base", "apf"])
+class TestLoopEquivalence:
+    def test_straight_run(self, workload, config_key):
+        ref = make_core(workload, config_key)
+        ref.run(TOTAL, cycle_by_cycle=True)
+        skip = make_core(workload, config_key)
+        skip.run(TOTAL)
+        assert fingerprint(skip) == fingerprint(ref)
+
+    def test_warmup_run(self, workload, config_key):
+        """Warmup gates stat collection; the measured() deltas and final
+        snapshots must still match exactly."""
+        warmup = 2_000
+        ref = make_core(workload, config_key)
+        ref.run(TOTAL, warmup=warmup, cycle_by_cycle=True)
+        skip = make_core(workload, config_key)
+        skip.run(TOTAL, warmup=warmup)
+        assert fingerprint(skip) == fingerprint(ref)
+        for key in ("recoveries", "cond_mispredicts", "stall_rob",
+                    "stall_ftq_full"):
+            assert skip.measured(key) == ref.measured(key)
+
+    def test_across_snapshot_restore(self, workload, config_key):
+        """Run to a split point, quiesce, snapshot, restore into a fresh
+        core, and continue — both loops must agree at the boundary (the
+        full snapshot dict) and at the end."""
+        split = TOTAL // 2
+        boundaries = {}
+        finals = {}
+        for mode, cycle_by_cycle in (("ref", True), ("skip", False)):
+            first = make_core(workload, config_key)
+            first.run(split, cycle_by_cycle=cycle_by_cycle)
+            first.quiesce()
+            state = first.snapshot()
+            boundaries[mode] = state
+            second = make_core(workload, config_key)
+            second.restore(state)
+            second.run(TOTAL, cycle_by_cycle=cycle_by_cycle)
+            finals[mode] = fingerprint(second)
+        assert boundaries["skip"] == boundaries["ref"]
+        assert finals["skip"] == finals["ref"]
