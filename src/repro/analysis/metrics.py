@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-from repro.common.statistics import geomean
+from repro.common.statistics import StatisticsError, geomean
 from repro.core.simulator import SimResult
 
 __all__ = ["speedups", "geomean_speedup", "mpki_table",
@@ -22,7 +22,15 @@ def speedups(results: Mapping[str, SimResult],
 
 def geomean_speedup(results: Mapping[str, SimResult],
                     baselines: Mapping[str, SimResult]) -> float:
-    return geomean(speedups(results, baselines).values())
+    ratios = speedups(results, baselines)
+    try:
+        return geomean(ratios.values())
+    except StatisticsError as exc:
+        # name the offending workload instead of a bare position
+        bad = sorted(name for name, value in ratios.items() if value <= 0)
+        raise StatisticsError(
+            f"non-positive speedup for workload(s) {', '.join(bad)}: "
+            f"{exc}") from exc
 
 
 def mpki_table(results: Mapping[str, SimResult]) -> Dict[str, float]:

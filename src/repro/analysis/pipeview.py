@@ -6,16 +6,25 @@ done, retire/squash) plus recovery/restore events. ``render()`` draws a
 gem5-pipeview-style text timeline — the tool you reach for when debugging
 why an APF restore did or didn't save re-fill cycles.
 
-The tracer works by wrapping the core's stage methods; it costs time, so
+The tracer is an observability sink (:class:`repro.obs.ObsSink`) fed by
+the core's first-class instrumentation points, so it sees the identical
+event stream under both loop drivers — including the default skipping
+loop, whose gated/cached dispatch silently bypassed the old
+monkey-patching tracer. Squash events carry the surviving seq bound, so
+a mispredict costs an O(squashed) suffix walk of the live window instead
+of a scan over every recorded timeline, and retires are observed per-uop
+instead of by copying the whole ROB. It still costs time when attached;
 it is strictly a debugging aid (never enabled in benchmarks).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 from repro.core.ooo_core import OoOCore
 from repro.core.uops import DynUop
+from repro.obs.events import ObsSink
 
 __all__ = ["PipeTracer", "UopTimeline"]
 
@@ -50,76 +59,70 @@ class UopTimeline:
         return self.fetch_cycle
 
 
-class PipeTracer:
-    """Wraps a core's pipeline stages to record uop timelines."""
+class PipeTracer(ObsSink):
+    """Observability sink that maintains per-uop timelines online.
 
-    def __init__(self, core: OoOCore, max_uops: int = 100_000) -> None:
+    ``PipeTracer(core)`` attaches itself via
+    :meth:`~repro.core.ooo_core.OoOCore.attach_obs`; pass ``attach=False``
+    to compose it with other sinks through
+    :class:`repro.obs.MultiSink` instead. Records the first ``max_uops``
+    fetched uops (restored uops count from their restore cycle).
+    """
+
+    def __init__(self, core: OoOCore, max_uops: int = 100_000,
+                 attach: bool = True) -> None:
         self.core = core
         self.max_uops = max_uops
         self.timelines: Dict[int, UopTimeline] = {}
         self.recoveries: List[int] = []      # cycles of recovery events
         self.restores: List[int] = []        # cycles of APF restores
-        self._install()
+        #: recorded timelines not yet retired or squashed, seq-ordered —
+        #: squash pops its ``seq > after_seq`` suffix, retire drains the
+        #: front lazily (both O(1) amortised per uop)
+        self._live: Deque[UopTimeline] = deque()
+        if attach:
+            core.attach_obs(self)
 
-    # -- instrumentation -----------------------------------------------------
+    # -- sink callbacks ------------------------------------------------------
 
-    def _install(self) -> None:
-        core = self.core
-        original_fetch = core._fetch_and_apf
-        original_allocate = core._allocate_uop
-        original_retire = core._retire
-        original_resolve = core._resolve
-        tracer = self
+    def on_fetch(self, cycle, bundle, ftq_len):
+        for du in bundle.uops:
+            self._record(du, cycle)
 
-        def traced_fetch():
-            original_fetch()
-            if core.ftq:
-                bundle, _index = core.ftq[-1]
-                if bundle.fetch_cycle == core.now:
-                    for du in bundle.uops:
-                        tracer._record(du, core.now)
+    def on_restore(self, cycle, rec, dus):
+        self.restores.append(cycle)
+        for du in dus:
+            self._record(du, cycle)
 
-        def traced_allocate(du):
-            original_allocate(du)
-            timeline = tracer.timelines.get(du.seq)
-            if timeline is None:
-                timeline = tracer._record(du, core.now)
-            if timeline is not None:
-                timeline.allocate_cycle = core.now
-                timeline.done_cycle = du.done_cycle
+    def on_allocate(self, cycle, du, rob_len, sched_len):
+        timeline = self.timelines.get(du.seq)
+        if timeline is not None:
+            timeline.allocate_cycle = cycle
+            timeline.done_cycle = du.done_cycle
 
-        def traced_retire():
-            before = list(core.rob)
-            count_before = core.retired
-            original_retire()
-            for du in before[:core.retired - count_before]:
-                timeline = tracer.timelines.get(du.seq)
-                if timeline is not None:
-                    timeline.retire_cycle = core.now
+    def on_retire(self, cycle, du):
+        timeline = self.timelines.get(du.seq)
+        if timeline is not None:
+            timeline.retire_cycle = cycle
+        live = self._live
+        while live and live[0].retire_cycle is not None:
+            live.popleft()
 
-        def traced_resolve(rec):
-            was_mispredict = rec.mispredict and not rec.resolved
-            restores_before = core.stats.get("apf_restores")
-            original_resolve(rec)
-            if was_mispredict:
-                tracer.recoveries.append(core.now)
-                if core.stats.get("apf_restores") != restores_before:
-                    tracer.restores.append(core.now)
-                for seq, timeline in tracer.timelines.items():
-                    if seq > rec.seq and timeline.retire_cycle is None \
-                            and timeline.squash_cycle is None:
-                        timeline.squash_cycle = core.now
+    def on_resolve(self, cycle, rec):
+        if rec.mispredict:
+            self.recoveries.append(cycle)
 
-        core._fetch_and_apf = traced_fetch
-        core._allocate_uop = traced_allocate
-        core._retire = traced_retire
-        core._resolve = traced_resolve
+    def on_squash(self, cycle, after_seq):
+        live = self._live
+        while live and live[-1].seq > after_seq:
+            live.pop().squash_cycle = cycle
 
     def _record(self, du: DynUop, cycle: int) -> Optional[UopTimeline]:
         if len(self.timelines) >= self.max_uops:
             return None
         timeline = UopTimeline(du, cycle)
         self.timelines[du.seq] = timeline
+        self._live.append(timeline)
         return timeline
 
     # -- rendering -----------------------------------------------------------

@@ -42,6 +42,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.config import CoreConfig
 from repro.core.simulator import SimResult, Simulator
+from repro.obs.metrics import current_metric_stream
 from repro.sampling import SamplingPlan, SamplingSimulator
 
 __all__ = [
@@ -156,6 +157,17 @@ class RunManifest:
         if error:
             entry["error"] = error
         self.jobs.append(entry)
+        stream = current_metric_stream()
+        if stream is not None:
+            # emitted parent-side as results arrive: worker processes do
+            # not inherit the ambient stream (see repro.obs.metrics)
+            from repro.analysis.harness import config_signature
+            stream.emit("job", workload=job.workload,
+                        config=config_signature(job.config),
+                        status=status, attempts=attempts,
+                        duration_s=entry["wall_time_s"],
+                        cache_hit=cache_hit, key=job.key,
+                        cycle_cap_hit=bool(entry.get("cycle_cap_hit")))
 
     def record_event(self, kind: str, **detail) -> None:
         self.events.append({"kind": kind, **detail})

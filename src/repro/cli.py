@@ -6,8 +6,15 @@ run       simulate one workload on one configuration, print metrics
 compare   baseline vs APF (or any two configurations) on workloads
 sweep     sweep one APF parameter (depth / buffers / scheme) on a workload
 bench     run paper benchmarks (parallel, cached, with a run manifest)
+trace     record a pipeline trace (text timeline, Chrome/Perfetto JSON,
+          or gem5-O3PipeView/Konata format)
 list      list workloads and predefined configurations
 describe  print the Table III-style configuration summary
+
+run/compare/sweep/bench/trace accept ``--emit-metrics PATH``: every
+simulation result (and bench job, sampling interval, and trace occupancy
+summary) is appended to PATH as schema-validated JSONL metric records
+(see :mod:`repro.obs.metrics`).
 
 run/compare/sweep share the on-disk result cache with the benches: their
 default warmup/measure windows come from ``harness.bench_windows()`` (the
@@ -20,6 +27,7 @@ Examples
     python -m repro compare --workloads leela,tc,mcf
     python -m repro sweep --workload deepsjeng --parameter depth
     python -m repro bench fig02_mpki table4_bank_conflicts --jobs 4
+    python -m repro trace leela --instructions 3000 --format chrome
     python -m repro describe --apf --scale paper
 """
 
@@ -35,6 +43,16 @@ from repro.analysis import harness
 from repro.analysis import runner as runner_mod
 from repro.analysis.metrics import geomean_speedup, speedups
 from repro.analysis.report import render_table, summarize_histogram
+from repro.obs import (
+    EventRecorder,
+    MetricStream,
+    MultiSink,
+    current_metric_stream,
+    result_metric_fields,
+    using_metric_stream,
+    write_chrome_trace,
+    write_o3_pipeview,
+)
 from repro.sampling import parse_sampling
 from repro.common.config import (
     AlternatePathMode,
@@ -76,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--predictor",
                        choices=("tage", "perceptron", "gshare"),
                        default="tage")
+        add_metrics(p)
+
+    def add_metrics(p):
+        p.add_argument("--emit-metrics", default=None, metavar="PATH",
+                       help="append schema-validated JSONL metric records "
+                            "(results, bench jobs, sampling intervals, "
+                            "occupancy summaries) to PATH")
 
     def add_apf(p):
         p.add_argument("--apf", action="store_true",
@@ -144,7 +169,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run every bench simulation in sampled mode "
                               "(e.g. intervals=32,period=2000); results "
                               "are cached separately from dense runs")
+    add_metrics(bench_p)
     add_profile(bench_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="record a pipeline trace of one workload")
+    trace_p.add_argument("workload", choices=ALL_NAMES)
+    trace_p.add_argument("--instructions", type=int, default=5000,
+                         help="instructions to simulate (default 5000)")
+    trace_p.add_argument("--format", choices=("text", "chrome", "o3"),
+                         default="text",
+                         help="text timeline (default), Chrome/Perfetto "
+                              "trace-event JSON, or gem5-O3PipeView/Konata")
+    trace_p.add_argument("--out", default=None, metavar="PATH",
+                         help="output file for chrome/o3 (default "
+                              "<workload>.trace.json / "
+                              "<workload>.o3pipeview.txt)")
+    trace_p.add_argument("--capacity", type=int, default=1_000_000,
+                         help="event ring-buffer capacity; oldest events "
+                              "drop beyond it (default 1000000)")
+    trace_p.add_argument("--start", type=int, default=0,
+                         help="first cycle of the text window (default 0)")
+    trace_p.add_argument("--cycles", type=int, default=100,
+                         help="width of the text window (default 100)")
+    trace_p.add_argument("--cycle-by-cycle", action="store_true",
+                         help="force the per-cycle reference loop (the "
+                              "event stream is identical either way)")
+    trace_p.add_argument("--seed", type=int, default=1234)
+    trace_p.add_argument("--scale", choices=("small", "paper"),
+                         default="small")
+    trace_p.add_argument("--predictor",
+                         choices=("tage", "perceptron", "gshare"),
+                         default="tage")
+    add_apf(trace_p)
+    add_metrics(trace_p)
 
     sub.add_parser("list", help="list workloads and configurations")
 
@@ -206,11 +264,16 @@ def _workload_list(spec: str) -> List[str]:
 
 def _run_one(workload: str, config: CoreConfig, args):
     """One cached simulation with the CLI's window/seed/cache options."""
-    return harness.run_cached(workload, config,
-                              warmup=args.warmup, measure=args.measure,
-                              seed=args.seed,
-                              use_cache=not args.no_cache,
-                              sampling=parse_sampling(args.sampling))
+    result = harness.run_cached(workload, config,
+                                warmup=args.warmup, measure=args.measure,
+                                seed=args.seed,
+                                use_cache=not args.no_cache,
+                                sampling=parse_sampling(args.sampling))
+    stream = current_metric_stream()
+    if stream is not None:
+        stream.emit("result", **result_metric_fields(
+            result, harness.config_signature(config)))
+    return result
 
 
 def _cmd_run(args) -> int:
@@ -366,6 +429,54 @@ def _cmd_bench(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.analysis.pipeview import PipeTracer
+    from repro.core.ooo_core import OoOCore
+    from repro.workloads.profiles import build_workload, workload_trace
+
+    config = config_from_args(args)
+    program = build_workload(args.workload)
+    trace = workload_trace(args.workload, args.instructions)
+    core = OoOCore(config, program, trace, seed=args.seed)
+    recorder = EventRecorder(capacity=args.capacity)
+    tracer = PipeTracer(core, attach=False)
+    core.attach_obs(MultiSink([recorder, tracer]))
+    core.run(args.instructions, cycle_by_cycle=args.cycle_by_cycle)
+
+    if args.format == "chrome":
+        out = Path(args.out or f"{args.workload}.trace.json")
+        doc = write_chrome_trace(out, recorder.events)
+        print(f"chrome trace: {len(doc['traceEvents'])} trace events "
+              f"-> {out}")
+    elif args.format == "o3":
+        out = Path(args.out or f"{args.workload}.o3pipeview.txt")
+        text = write_o3_pipeview(out, recorder.events)
+        records = text.count("O3PipeView:fetch:")
+        print(f"O3PipeView trace: {records} uop records -> {out}")
+    else:
+        end = min(core.now, args.start + args.cycles)
+        print(tracer.render(args.start, max(end, args.start + 1)))
+
+    occupancy = recorder.occupancy_rows()
+    rows = [(name, f"{p50:.0f}", f"{p90:.0f}", f"{mean:.1f}", samples)
+            for name, p50, p90, mean, samples in occupancy]
+    print(render_table(["subsystem", "p50", "p90", "mean", "samples"],
+                       rows, title=f"{args.workload} occupancy "
+                                   f"({core.now} cycles, "
+                                   f"{core.retired} retired)"))
+    stream = current_metric_stream()
+    if stream is not None:
+        for name, p50, p90, mean, samples in occupancy:
+            stream.emit("occupancy", workload=args.workload,
+                        subsystem=name, p50=p50, p90=p90, mean=mean,
+                        samples=samples)
+    if recorder.dropped:
+        print(f"note: ring buffer dropped {recorder.dropped} oldest of "
+              f"{recorder.emitted} events (raise --capacity to keep all)",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_list(_args) -> int:
     rows = [(n, "SPEC CPU2017int substitute") for n in SPEC_NAMES]
     rows += [(n, "GAP kernel") for n in GAP_NAMES]
@@ -402,6 +513,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
     "list": _cmd_list,
     "characterize": _cmd_characterize,
     "describe": _cmd_describe,
@@ -432,7 +544,18 @@ def _with_profile(args, fn: Callable[[], int]) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _with_profile(args, lambda: _COMMANDS[args.command](args))
+
+    def dispatch() -> int:
+        return _with_profile(args, lambda: _COMMANDS[args.command](args))
+
+    path = getattr(args, "emit_metrics", None)
+    if not path:
+        return dispatch()
+    with MetricStream(path) as stream, using_metric_stream(stream):
+        code = dispatch()
+    print(f"{stream.emitted} metric records appended to {path}",
+          file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":   # pragma: no cover - exercised via __main__

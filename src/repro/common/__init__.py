@@ -20,13 +20,15 @@ from repro.common.config import (
     small_core_config,
 )
 from repro.common.rng import DeterministicRng
-from repro.common.statistics import Histogram, StatGroup, geomean, ratio
+from repro.common.statistics import (Histogram, StatGroup,
+                                     StatisticsError, geomean, ratio)
 
 __all__ = [
     "APFConfig", "AlternatePathMode", "BackendConfig", "BTBConfig",
     "CacheConfig", "CoreConfig", "DramConfig", "FetchScheme",
     "FrontendConfig", "GshareConfig", "H2PTableConfig", "MemoryConfig",
     "TageConfig", "TLBConfig", "paper_core_config", "small_core_config",
-    "DeterministicRng", "Histogram", "StatGroup", "geomean", "ratio",
+    "DeterministicRng", "Histogram", "StatGroup", "StatisticsError",
+    "geomean", "ratio",
     "bit", "bits", "fold_xor", "mask", "parity", "rotate_left",
 ]

@@ -15,7 +15,18 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Sequence
 
 __all__ = ["StatGroup", "StatCell", "Histogram", "ConfidenceInterval",
-           "geomean", "ratio", "student_t_critical"]
+           "StatisticsError", "geomean", "ratio", "student_t_critical"]
+
+
+class StatisticsError(ValueError):
+    """A statistic was requested on input it is undefined for.
+
+    Raised with a self-contained message (the offending value and the
+    requirement it violates) so report-rendering code paths fail with a
+    diagnosable one-liner instead of a traceback deep inside a formula.
+    Subclasses :class:`ValueError`, so existing ``except ValueError``
+    callers keep working.
+    """
 
 
 def ratio(numerator: float, denominator: float) -> float:
@@ -24,12 +35,19 @@ def ratio(numerator: float, denominator: float) -> float:
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values (returns 0.0 for empty input)."""
+    """Geometric mean of positive values (returns 0.0 for empty input).
+
+    Raises :class:`StatisticsError` when any value is zero or negative —
+    the geometric mean is undefined there, and silently dropping or
+    clamping such a value would misreport a speedup table.
+    """
     acc = 0.0
     count = 0
     for value in values:
         if value <= 0:
-            raise ValueError(f"geomean requires positive values, got {value}")
+            raise StatisticsError(
+                f"geomean is undefined for non-positive values "
+                f"(got {value!r} at position {count})")
         acc += math.log(value)
         count += 1
     return math.exp(acc / count) if count else 0.0
@@ -141,13 +159,23 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         """Smallest bucket value at or below which ``p`` percent of the
-        recorded samples fall (nearest-rank). Returns 0.0 when empty."""
+        recorded samples fall (nearest-rank).
+
+        Raises :class:`StatisticsError` for an empty histogram (every
+        percentile is undefined then) and for ``p`` outside [0, 100].
+        ``p == 100`` always returns the largest recorded bucket, including
+        the single-bucket case; float rounding in the rank computation is
+        clamped so it can never walk past the end.
+        """
         if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
+            raise StatisticsError(
+                f"percentile must be in [0, 100], got {p}")
         total = self.total()
         if not total:
-            return 0.0
-        rank = max(1, math.ceil(total * p / 100.0))
+            raise StatisticsError(
+                "percentile of an empty histogram is undefined "
+                "(check Histogram.total() before asking)")
+        rank = min(total, max(1, math.ceil(total * p / 100.0)))
         running = 0
         for bucket in sorted(self.buckets):
             running += self.buckets[bucket]

@@ -96,6 +96,7 @@ class APFEngine:
         self._buffer_cap = config.buffer_capacity_uops
         self._shadow_queue_entries = config.shadow_branch_queue_entries
         self.collect = True            # core toggles this across warmup
+        self.obs = None                # observability sink (core attaches)
         self._c_jobs_started = stats.counter("apf_jobs_started")
         self._c_active_cycles = stats.counter("apf_active_cycles")
         self._c_jobs_completed = stats.counter("apf_jobs_completed")
@@ -197,7 +198,8 @@ class APFEngine:
         return oldest_low if oldest_low is not None else oldest_h2p
 
     def start_job(self, rec: InflightBranch,
-                  main_history: SpeculativeHistory, main_ras) -> None:
+                  main_history: SpeculativeHistory, main_ras,
+                  now: int = 0) -> None:
         """Initialise the APF pipeline for ``rec``'s alternate path."""
         su = rec.uop
         alt_taken = not rec.predicted_taken
@@ -218,6 +220,8 @@ class APFEngine:
             self.dpip_pending = None
         if self.collect:
             self._c_jobs_started.value += 1
+        if self.obs is not None:
+            self.obs.on_apf_job_start(now, rec)
 
     # -- per-cycle operation ----------------------------------------------------
 
@@ -251,11 +255,11 @@ class APFEngine:
         ``can_fetch`` is False when the fetch scheme gives this cycle to the
         main path only (time-sharing) — the pipeline still ages.
         """
-        self._try_drain_held()
+        self._try_drain_held(now)
         if self.active_job is None and self.held_job is None:
             candidate = self.select_candidate(inflight)
             if candidate is not None:
-                self.start_job(candidate, main_history, main_ras)
+                self.start_job(candidate, main_history, main_ras, now)
         job = self.active_job
         if job is None:
             return
@@ -269,9 +273,12 @@ class APFEngine:
         if (job.total_cycles >= self._pipeline_depth
                 or len(job.uops) >= self._buffer_cap
                 or job.terminated or job.dead):
-            self._complete_job(job)
+            self._complete_job(job, now)
 
-    def _try_drain_held(self) -> None:
+    def _buffer_occupancy(self) -> int:
+        return sum(1 for slot in self.buffers if slot is not None)
+
+    def _try_drain_held(self, now: int = 0) -> None:
         if self.held_job is None or self.is_dpip:
             return
         index = self.free_buffer_index()
@@ -283,12 +290,17 @@ class APFEngine:
         self.buffers[index] = buffer
         job.branch.apf_job = None
         job.branch.apf_buffer = buffer
+        if self.obs is not None:
+            self.obs.on_apf_buffer_fill(now, self._buffer_occupancy())
 
-    def _complete_job(self, job: APFJob) -> None:
+    def _complete_job(self, job: APFJob, now: int = 0) -> None:
         job.complete = True
         self.active_job = None
         if self.collect:
             self._c_jobs_completed.value += 1
+        obs = self.obs
+        if obs is not None:
+            obs.on_apf_job_complete(now, job)
         if self.is_dpip:
             # DPIP holds its single path until the branch resolves
             self.held_job = job
@@ -299,6 +311,8 @@ class APFEngine:
             self.buffers[index] = buffer
             job.branch.apf_job = None
             job.branch.apf_buffer = buffer
+            if obs is not None:
+                obs.on_apf_buffer_fill(now, self._buffer_occupancy())
         else:
             self.held_job = job   # pipeline stays occupied (Section III)
 

@@ -119,6 +119,7 @@ class MainFetchEngine:
         self._uop_bytes = self.fe.uop_bytes
         self._icache_hit_latency = hierarchy.icache.config.hit_latency
         self.collect = True            # core toggles this across warmup
+        self.obs = None                # observability sink (core attaches)
         self._c_fetch_cycles = stats.counter("fetch_cycles")
         self._c_fetched_uops = stats.counter("fetched_uops")
         self._c_icache_stall = stats.counter("icache_miss_stall_cycles")
@@ -234,6 +235,8 @@ class MainFetchEngine:
         if extra > 0:
             if self.collect:
                 self._c_icache_stall.value += extra
+            if self.obs is not None:
+                self.obs.on_icache_stall(now, extra)
             ready += extra
             if now + 1 + extra > self.stall_until:
                 self.stall_until = now + 1 + extra
@@ -298,6 +301,8 @@ class MainFetchEngine:
         if hit is None:
             if self.collect:
                 self._c_btb_misfetches.value += 1
+            if self.obs is not None:
+                self.obs.on_btb_misfetch(now, su.pc)
             self.stall_until = max(self.stall_until,
                                    now + 1 + self.misfetch_penalty)
             target = su.target if su.target >= 0 else su.fallthrough

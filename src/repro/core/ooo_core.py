@@ -173,6 +173,35 @@ class OoOCore:
         #: latched True when a run() exhausts max_cycles before retiring its
         #: target — surfaced as a warning in the run manifest
         self.cycle_cap_hit = False
+        #: attached observability sink (repro.obs.ObsSink protocol); None
+        #: keeps every instrumentation point at one truthy check
+        self._obs = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_obs(self, sink) -> None:
+        """Attach an observability sink (see :mod:`repro.obs.events`).
+
+        The sink receives a callback at every pipeline state change —
+        identically under both loop drivers. The core never imports
+        :mod:`repro.obs`; any object with the :class:`~repro.obs.ObsSink`
+        callbacks works, and :class:`~repro.obs.MultiSink` fans out to
+        several. Detach (or never attach) for performance runs: the
+        disabled path costs one ``is not None`` check per phase.
+        """
+        self._obs = sink
+        self.fetch.obs = sink
+        if self.apf is not None:
+            self.apf.obs = sink
+
+    def detach_obs(self) -> None:
+        """Remove the attached sink, restoring the zero-overhead path."""
+        self._obs = None
+        self.fetch.obs = None
+        if self.apf is not None:
+            self.apf.obs = None
 
     # ------------------------------------------------------------------
     # main loop
@@ -188,6 +217,11 @@ class OoOCore:
         """
         self.warmup_target = warmup
         self._set_collect(warmup == 0)
+        # a fresh run gets a fresh cap verdict: without this reset, a
+        # capped interval would leave every later run() on this core (the
+        # sampling simulator calls run() per interval) reporting a stale
+        # cap (the _c_cycle_cap_hit counter still accumulates across runs)
+        self.cycle_cap_hit = False
         if not max_cycles:
             max_cycles = 400 * max_instructions
         target = min(max_instructions, len(self.trace))
@@ -537,6 +571,9 @@ class OoOCore:
 
     def _resolve(self, rec: InflightBranch) -> None:
         rec.resolved = True
+        obs = self._obs
+        if obs is not None:
+            obs.on_resolve(self.now, rec)
         if not rec.mispredict:
             if self.apf is not None:
                 self.apf.release_branch(rec)
@@ -601,6 +638,9 @@ class OoOCore:
             rec.squashed = True
             if self.apf is not None:
                 self.apf.release_branch(rec)
+        obs = self._obs
+        if obs is not None:
+            obs.on_squash(self.now, seq)
 
     # ------------------------------------------------------------------
     # APF restore (Section V-G)
@@ -616,6 +656,8 @@ class OoOCore:
         on_trace = True
         trace = self.trace
         fetch = self.fetch
+        obs = self._obs
+        restored_dus = [] if obs is not None else None
 
         for index, bu in enumerate(buffer.uops):
             su = bu.static
@@ -653,7 +695,11 @@ class OoOCore:
             if bypass_alloc:
                 ready = self.now
             self.restore_queue.append((ready, du))
+            if restored_dus is not None:
+                restored_dus.append(du)
         self._c_apf_restored_uops.value += len(buffer.uops)
+        if obs is not None:
+            obs.on_restore(self.now, rec, restored_dus)
 
         # frontend state fast-forwards to the end of the alternate path
         fetch.history.ghr = buffer.end_ghr
@@ -841,6 +887,9 @@ class OoOCore:
         if rec is not None and rec.on_trace and not rec.resolved \
                 and rec.kind in _EVENT_KINDS:
             heapq.heappush(self.events, (done, rec.seq, rec))
+        obs = self._obs
+        if obs is not None:
+            obs.on_allocate(now, du, len(self.rob), len(self.sched_heap))
 
     # ------------------------------------------------------------------
     # retire
@@ -854,12 +903,15 @@ class OoOCore:
         budget = self._retire_width
         warmup_target = self.warmup_target
         inflight = self.inflight
+        obs = self._obs
         ticks = 0
         while budget and rob and rob[0].done_cycle <= now:
             du = rob.popleft()
             budget -= 1
             self.retired += 1
             ticks += 1
+            if obs is not None:
+                obs.on_retire(now, du)
             op = du.static.op
             if op is Op.LOAD:
                 self.load_count -= 1
@@ -969,6 +1021,9 @@ class OoOCore:
         if bundle is None:
             return False
         self.ftq.append([bundle, 0])
+        obs = self._obs
+        if obs is not None:
+            obs.on_fetch(self.now, bundle, len(self.ftq))
         apf = self.apf
         inflight_append = self.inflight.append
         if apf is None:

@@ -1,0 +1,82 @@
+"""First-class observability for the simulator (``repro.obs``).
+
+Three layers, cheapest first:
+
+* **Instrumentation points** — the timing core, fetch engine, and APF
+  engine each hold an ``obs`` slot (``None`` by default). Every pipeline
+  phase guards its emission with a single ``is not None`` check, so the
+  disabled path costs one truthy test per phase and nothing else. Events
+  fire only at *state changes* (a bundle fetched, a uop allocated /
+  retired / squashed, a branch resolved, a path restored), which makes
+  the stream identical under the per-cycle reference loop and the
+  event-driven skipping loop — skipped windows are no-ops by
+  construction.
+* **Sinks** — :class:`ObsSink` subclasses consume the callbacks.
+  :class:`EventRecorder` serialises them into a bounded ring buffer of
+  plain tuples and feeds per-subsystem occupancy histograms;
+  :class:`~repro.analysis.pipeview.PipeTracer` builds per-uop timelines
+  online; :class:`MultiSink` fans one stream out to several sinks.
+* **Exporters / metrics** — :mod:`repro.obs.exporters` renders a
+  recorded stream as Chrome trace-event (Perfetto) JSON or
+  gem5-O3PipeView/Konata text; :mod:`repro.obs.metrics` defines the
+  machine-readable metric schema and the JSONL :class:`MetricStream`
+  the runner manifest and sampling intervals publish into.
+"""
+
+from repro.obs.events import (
+    EV_ALLOC,
+    EV_APF_BUFFER_FILL,
+    EV_APF_JOB_COMPLETE,
+    EV_APF_JOB_START,
+    EV_BTB_MISFETCH,
+    EV_FETCH,
+    EV_FETCH_BUNDLE,
+    EV_ICACHE_STALL,
+    EV_RESOLVE,
+    EV_RESTORE,
+    EV_RETIRE,
+    EV_SQUASH,
+    EVENT_NAMES,
+    F_BRANCH,
+    F_MISPREDICT,
+    F_RESTORED,
+    F_WRONG_PATH,
+    EventRecorder,
+    MultiSink,
+    ObsSink,
+    UopLife,
+    replay_timelines,
+)
+from repro.obs.exporters import (
+    ExportFormatError,
+    chrome_trace,
+    o3_pipeview,
+    validate_chrome_trace,
+    validate_o3_trace,
+    write_chrome_trace,
+    write_o3_pipeview,
+)
+from repro.obs.metrics import (
+    METRIC_KINDS,
+    METRIC_SCHEMA_VERSION,
+    MetricSchemaError,
+    MetricStream,
+    current_metric_stream,
+    result_metric_fields,
+    using_metric_stream,
+    validate_metric_record,
+)
+
+__all__ = [
+    "EV_ALLOC", "EV_APF_BUFFER_FILL", "EV_APF_JOB_COMPLETE",
+    "EV_APF_JOB_START", "EV_BTB_MISFETCH", "EV_FETCH", "EV_FETCH_BUNDLE",
+    "EV_ICACHE_STALL", "EV_RESOLVE", "EV_RESTORE", "EV_RETIRE",
+    "EV_SQUASH", "EVENT_NAMES",
+    "EventRecorder", "ExportFormatError", "F_BRANCH", "F_MISPREDICT",
+    "F_RESTORED", "F_WRONG_PATH", "METRIC_KINDS", "METRIC_SCHEMA_VERSION",
+    "MetricSchemaError", "MetricStream", "MultiSink", "ObsSink", "UopLife",
+    "chrome_trace", "current_metric_stream", "o3_pipeview",
+    "replay_timelines", "result_metric_fields", "using_metric_stream",
+    "validate_chrome_trace", "validate_metric_record", "validate_o3_trace",
+    "write_chrome_trace", "write_o3_pipeview",
+]

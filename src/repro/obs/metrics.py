@@ -1,0 +1,191 @@
+"""Machine-readable metric schema and JSONL metric stream.
+
+Every record is one JSON object per line (JSONL) of the shape::
+
+    {"schema": 1, "kind": "<kind>", ...kind-specific fields...}
+
+The schema is deliberately small and closed: :data:`METRIC_KINDS` names
+the four record kinds and their required fields, and
+:func:`validate_metric_record` rejects anything else with a
+:class:`MetricSchemaError` *before* it reaches disk — a consumer parsing
+the stream never needs defensive code for half-written shapes. Extra
+fields beyond the required set are allowed (they version forward
+cleanly); missing or mistyped required fields are not.
+
+Producers publish through the ambient stream installed by
+:func:`using_metric_stream` (the same pattern as
+``harness.using_sampling``): the CLI's ``--emit-metrics PATH`` installs a
+:class:`MetricStream` for the whole invocation, and then
+``analysis/runner.py`` emits one ``"job"`` record per finished manifest
+job, the CLI emits ``"result"`` records per simulation, and
+``sampling/simulator.py`` emits one ``"sampling_interval"`` record per
+measured interval. The ambient stream is process-local: runner *worker*
+processes do not inherit it, so job/result records are emitted from the
+parent when results arrive.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional, Union
+
+__all__ = ["METRIC_SCHEMA_VERSION", "METRIC_KINDS", "MetricSchemaError",
+           "MetricStream", "current_metric_stream", "result_metric_fields",
+           "using_metric_stream", "validate_metric_record"]
+
+METRIC_SCHEMA_VERSION = 1
+
+_NUM = (int, float)
+
+#: kind -> {required field: accepted types}
+METRIC_KINDS = {
+    # one runner-manifest job (scheduling outcome, not simulation content)
+    "job": {
+        "workload": (str,),
+        "config": (str,),
+        "status": (str,),
+        "attempts": (int,),
+        "duration_s": _NUM,
+    },
+    # one finished simulation's headline numbers
+    "result": {
+        "workload": (str,),
+        "config": (str,),
+        "instructions": (int,),
+        "cycles": (int,),
+        "ipc": _NUM,
+        "branch_mpki": _NUM,
+    },
+    # one measured interval of a sampled run
+    "sampling_interval": {
+        "workload": (str,),
+        "index": (int,),
+        "instructions": (int,),
+        "cycles": (int,),
+        "ipc": _NUM,
+    },
+    # one subsystem occupancy summary (from EventRecorder histograms)
+    "occupancy": {
+        "subsystem": (str,),
+        "p50": _NUM,
+        "p90": _NUM,
+        "mean": _NUM,
+        "samples": (int,),
+    },
+}
+
+
+class MetricSchemaError(ValueError):
+    """A metric record does not conform to :data:`METRIC_KINDS`."""
+
+
+def validate_metric_record(record: dict) -> None:
+    """Raise :class:`MetricSchemaError` unless ``record`` is well-formed."""
+    if not isinstance(record, dict):
+        raise MetricSchemaError(
+            f"metric record must be a dict, got {type(record).__name__}")
+    version = record.get("schema")
+    if version != METRIC_SCHEMA_VERSION:
+        raise MetricSchemaError(
+            f"unsupported metric schema {version!r} "
+            f"(this build writes {METRIC_SCHEMA_VERSION})")
+    kind = record.get("kind")
+    required = METRIC_KINDS.get(kind)
+    if required is None:
+        raise MetricSchemaError(
+            f"unknown metric kind {kind!r}; "
+            f"choose from {sorted(METRIC_KINDS)}")
+    for field, types in required.items():
+        if field not in record:
+            raise MetricSchemaError(
+                f"{kind!r} record is missing required field {field!r}")
+        value = record[field]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise MetricSchemaError(
+                f"{kind!r} field {field!r} must be "
+                f"{'/'.join(t.__name__ for t in types)}, got {value!r}")
+
+
+def result_metric_fields(result, config_name: str) -> dict:
+    """``"result"`` record fields for one
+    :class:`~repro.core.simulator.SimResult`."""
+    return {
+        "workload": result.workload,
+        "config": config_name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "branch_mpki": result.branch_mpki,
+    }
+
+
+class MetricStream:
+    """Validating JSONL writer for metric records.
+
+    Accepts a path (opened lazily, line-buffered) or an open text handle
+    (not closed on :meth:`close` unless owned). Each record is validated,
+    serialised with sorted keys, and flushed immediately so a crashed run
+    leaves every completed record readable.
+    """
+
+    def __init__(self, target: Union[str, "IO[str]"]) -> None:
+        self._path: Optional[str] = None
+        self._handle: Optional[IO[str]] = None
+        self._owns_handle = False
+        if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+            self._path = str(target)
+        else:
+            self._handle = target
+        self.emitted = 0
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Validate and write one record; returns the record written."""
+        record = {"schema": METRIC_SCHEMA_VERSION, "kind": kind, **fields}
+        validate_metric_record(record)
+        if self._handle is None:
+            self._handle = open(self._path, "a", encoding="utf-8")
+            self._owns_handle = True
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.emitted += 1
+        return record
+
+    def close(self) -> None:
+        if self._owns_handle and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._owns_handle = False
+
+    def __enter__(self) -> "MetricStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------
+# Ambient stream (mirrors harness.using_sampling / runner.using_runner)
+# --------------------------------------------------------------------------
+
+_ACTIVE_STREAM: Optional[MetricStream] = None
+
+
+@contextmanager
+def using_metric_stream(stream: Optional[MetricStream]) \
+        -> Iterator[Optional[MetricStream]]:
+    """Make ``stream`` the ambient metric stream for the block
+    (``None`` is a no-op context). Process-local: worker processes
+    spawned inside the block do not inherit it."""
+    global _ACTIVE_STREAM
+    previous = _ACTIVE_STREAM
+    _ACTIVE_STREAM = stream
+    try:
+        yield stream
+    finally:
+        _ACTIVE_STREAM = previous
+
+
+def current_metric_stream() -> Optional[MetricStream]:
+    """The ambient metric stream, or ``None`` when metrics are off."""
+    return _ACTIVE_STREAM

@@ -34,6 +34,7 @@ from repro.workloads.trace import DynamicTrace
 
 from repro.core.ooo_core import OoOCore
 from repro.core.simulator import SimResult
+from repro.obs.metrics import current_metric_stream
 from repro.sampling.fastforward import FunctionalWarmer
 from repro.sampling.plan import SamplingPlan
 
@@ -95,6 +96,12 @@ class SamplingSimulator:
                 # should prevent this) — skip the empty interval
                 continue
             interval_ipcs.append(ratio(instructions, cycles))
+            stream = current_metric_stream()
+            if stream is not None:
+                stream.emit("sampling_interval", workload=workload,
+                            index=k, instructions=instructions,
+                            cycles=cycles,
+                            ipc=ratio(instructions, cycles))
             total_instructions += instructions
             total_cycles += cycles
             for key, value in core.stats.counters.items():

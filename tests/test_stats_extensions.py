@@ -11,6 +11,8 @@ from repro.common.statistics import (
     ConfidenceInterval,
     Histogram,
     StatGroup,
+    StatisticsError,
+    geomean,
     student_t_critical,
 )
 from repro.core.simulator import SimResult
@@ -69,13 +71,62 @@ class TestHistogramPercentile:
         assert hist.percentile(90) == 10.0
         assert hist.percentile(100) == 10.0
 
-    def test_empty_and_bad_args(self):
+    def test_empty_histogram_raises_documented_error(self):
+        """Regression: percentile() on an empty histogram used to return
+        0.0 — a fabricated sample indistinguishable from a real bucket 0.
+        It now raises StatisticsError (a ValueError subclass)."""
         hist = Histogram()
-        assert hist.percentile(50) == 0.0
+        with pytest.raises(StatisticsError, match="empty histogram"):
+            hist.percentile(50)
         with pytest.raises(ValueError):
+            hist.percentile(50)   # subclass contract for legacy callers
+
+    def test_out_of_range_p(self):
+        hist = Histogram()
+        hist.add(1)
+        with pytest.raises(StatisticsError, match=r"\[0, 100\]"):
             hist.percentile(-1)
-        with pytest.raises(ValueError):
+        with pytest.raises(StatisticsError, match=r"\[0, 100\]"):
             hist.percentile(101)
+
+    def test_single_bucket_boundaries(self):
+        """p=0 and p=100 on a single-bucket histogram both resolve to
+        that bucket — the rank clamp keeps float rounding from walking
+        past the end."""
+        hist = Histogram()
+        hist.add(7, 3)
+        assert hist.percentile(0) == 7.0
+        assert hist.percentile(50) == 7.0
+        assert hist.percentile(100) == 7.0
+
+    def test_p100_lands_on_last_bucket_despite_rounding(self):
+        hist = Histogram()
+        # 3 buckets x 7 samples: ceil(21 * 100 / 100) must clamp to 21
+        for bucket in (1, 2, 3):
+            hist.add(bucket, 7)
+        assert hist.percentile(100) == 3.0
+        assert hist.percentile(100.0) == 3.0
+
+
+class TestGeomeanHardening:
+    def test_positive_values(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([1.0]) == 1.0
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+
+    def test_zero_raises_documented_error(self):
+        with pytest.raises(StatisticsError, match="non-positive"):
+            geomean([1.2, 0.0, 1.1])
+
+    def test_negative_raises_with_position(self):
+        with pytest.raises(StatisticsError, match="position 2"):
+            geomean([1.2, 1.1, -0.5])
+
+    def test_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            geomean([0.0])
 
 
 class TestStatGroupReset:
