@@ -34,6 +34,7 @@ from bench_common import register_bench, save_result
 from repro.analysis.harness import bench_windows
 from repro.common.config import small_core_config
 from repro.core.ooo_core import OoOCore
+from repro.obs import ObsSink
 from repro.workloads.profiles import ALL_NAMES, build_workload, workload_trace
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_simperf.json"
@@ -50,7 +51,12 @@ def _scale() -> str:
 
 
 def measure() -> Rows:
-    """Time one warmup+measure run per (workload, config) pair."""
+    """Time one warmup+measure run per (workload, config) pair.
+
+    Each pair is timed twice: plain, and with a no-op observability sink
+    attached. The second run turns the "obs off costs one ``is not
+    None`` check per phase" claim into a measured overhead ratio
+    (``obs_overhead``; 1.00 = free) instead of an asserted one."""
     warmup, window = bench_windows()
     total = warmup + window
     rows: Rows = {}
@@ -63,10 +69,18 @@ def measure() -> Rows:
             t0 = time.perf_counter()
             core.run(total, warmup=warmup)
             wall = time.perf_counter() - t0
+            obs_core = OoOCore(config, program, trace, seed=SEED)
+            obs_core.attach_obs(ObsSink())
+            t0 = time.perf_counter()
+            obs_core.run(total, warmup=warmup)
+            obs_wall = time.perf_counter() - t0
+            assert obs_core.now == core.now   # obs must not change timing
             rows[f"{workload}/{label}"] = {
                 "cycles": core.now,
                 "wall_s": round(wall, 4),
                 "kcycles_per_s": round(core.now / 1000.0 / wall, 3),
+                "kcycles_per_s_obs": round(core.now / 1000.0 / obs_wall, 3),
+                "obs_overhead": round(obs_wall / wall, 3),
             }
     return rows
 
@@ -76,9 +90,31 @@ def geomean(values) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def _kcps(row) -> Optional[float]:
+    """``kcycles_per_s`` of one row, or None for a malformed/foreign row.
+
+    BENCH_simperf.json is hand-merged across machines and schema
+    generations; a consumer must never crash on a section that predates a
+    field (or on a truncated row) — it just excludes it."""
+    if not isinstance(row, dict):
+        return None
+    value = row.get("kcycles_per_s")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return value if value > 0 else None
+
+
 def load_payload() -> dict:
     if RESULT_PATH.exists():
-        return json.loads(RESULT_PATH.read_text())
+        payload = json.loads(RESULT_PATH.read_text())
+        if not isinstance(payload, dict):
+            payload = {}
+        # tolerate files written before the scales split (or pruned by
+        # hand): missing sections mean "no committed reference yet"
+        if not isinstance(payload.get("scales"), dict):
+            payload["scales"] = {}
+        payload.setdefault("seed", SEED)
+        return payload
     return {
         "description": "Simulator throughput (simulated kcycles per "
                        "wall-clock second) on the dense Fig. 8 "
@@ -91,9 +127,13 @@ def load_payload() -> dict:
 def committed_geomean(scale: str) -> Optional[float]:
     """Geomean kcycles/s of the committed ``after`` rows, if any."""
     section = load_payload()["scales"].get(scale)
-    if not section or not section.get("after"):
+    if not isinstance(section, dict):
         return None
-    return geomean(r["kcycles_per_s"] for r in section["after"].values())
+    after = section.get("after")
+    if not isinstance(after, dict):
+        return None
+    values = [v for v in map(_kcps, after.values()) if v is not None]
+    return geomean(values) if values else None
 
 
 def update_payload(rows: Rows) -> dict:
@@ -101,11 +141,14 @@ def update_payload(rows: Rows) -> dict:
     ``after`` set, preserving ``before`` and other scales."""
     payload = load_payload()
     section = payload["scales"].setdefault(_scale(), {})
+    if not isinstance(section, dict):
+        section = payload["scales"][_scale()] = {}
     section["after"] = rows
     before = section.get("before")
-    if before:
-        speedups = [rows[k]["kcycles_per_s"] / before[k]["kcycles_per_s"]
-                    for k in rows if k in before]
+    if isinstance(before, dict):
+        speedups = [rows[k]["kcycles_per_s"] / _kcps(before[k])
+                    for k in rows
+                    if k in before and _kcps(before[k]) is not None]
         if speedups:
             section["geomean_speedup"] = round(geomean(speedups), 3)
     RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
@@ -115,20 +158,36 @@ def update_payload(rows: Rows) -> dict:
 
 def render(rows: Rows) -> str:
     section = load_payload()["scales"].get(_scale(), {})
-    before = section.get("before") or {}
+    if not isinstance(section, dict):
+        section = {}
+    before = section.get("before")
+    if not isinstance(before, dict):
+        before = {}
     lines = [f"simperf: simulated kcycles/sec "
              f"(scale={_scale()}, seed={SEED})",
-             f"{'run':<24}{'kc/s':>10}{'before':>10}{'speedup':>9}"]
+             f"{'run':<24}{'kc/s':>10}{'obs-on':>10}{'obs-ovh':>9}"
+             f"{'before':>10}{'speedup':>9}"]
     for key in sorted(rows):
-        kcps = rows[key]["kcycles_per_s"]
-        if key in before:
-            ref = before[key]["kcycles_per_s"]
-            lines.append(f"{key:<24}{kcps:>10.1f}{ref:>10.1f}"
-                         f"{kcps / ref:>8.2f}x")
+        row = rows[key]
+        kcps = row["kcycles_per_s"]
+        obs = row.get("kcycles_per_s_obs")
+        ovh = row.get("obs_overhead")
+        obs_s = f"{obs:>10.1f}" if obs else f"{'-':>10}"
+        ovh_s = f"{ovh:>8.2f}x" if ovh else f"{'-':>9}"
+        ref = _kcps(before.get(key))
+        if ref is not None:
+            lines.append(f"{key:<24}{kcps:>10.1f}{obs_s}{ovh_s}"
+                         f"{ref:>10.1f}{kcps / ref:>8.2f}x")
         else:
-            lines.append(f"{key:<24}{kcps:>10.1f}{'-':>10}{'-':>9}")
+            lines.append(f"{key:<24}{kcps:>10.1f}{obs_s}{ovh_s}"
+                         f"{'-':>10}{'-':>9}")
     lines.append(f"geomean: {geomean(r['kcycles_per_s'] for r in rows.values()):.1f} kc/s")
-    if "geomean_speedup" in section:
+    overheads = [r["obs_overhead"] for r in rows.values()
+                 if r.get("obs_overhead")]
+    if overheads:
+        lines.append(f"geomean obs-attached overhead: "
+                     f"{geomean(overheads):.3f}x wall time")
+    if isinstance(section.get("geomean_speedup"), (int, float)):
         lines.append(f"geomean speedup vs before: "
                      f"{section['geomean_speedup']:.3f}x")
     return "\n".join(lines)

@@ -54,7 +54,7 @@ _SCALE_ENV = "REPRO_BENCH_SCALE"
 #: Bump whenever the cache payload format or the signature scheme changes:
 #: the version is embedded in every cache key, so entries written by an
 #: older scheme can never be returned as hits.
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3   # 3: counters carry cpi_* slot attribution
 
 #: (warmup, measure) instruction windows per scale; "tiny" is for CI
 #: smoke runs and is too short for the paper's qualitative assertions

@@ -9,9 +9,13 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["bar_chart", "grouped_bar_chart", "sparkline"]
+__all__ = ["bar_chart", "grouped_bar_chart", "sparkline",
+           "stacked_bar_chart"]
 
 _BLOCKS = " ▏▎▍▌▋▊▉█"
+
+#: fill characters cycled through the segments of a stacked bar
+_SEGMENT_FILLS = "█▓▒░▞▚▤▥▦▧▨▩●○"
 
 
 def _bar(value: float, scale: float, width: int) -> str:
@@ -73,6 +77,53 @@ def grouped_bar_chart(series: Mapping[str, Mapping[str, float]],
                 else "<" * max(1, int(round(-delta / span * width)))
             rendered = value_format.format(value)
             lines.append(f"  {name:<{name_width}} {rendered:>8s} |{bar}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(series: Mapping[str, Mapping[str, float]],
+                      title: str = "", width: int = 60,
+                      legend: bool = True) -> str:
+    """100%-stacked horizontal bars (e.g. CPI stacks).
+
+    ``series`` maps row label -> {segment: value}; each row is
+    normalised to its own sum, segments keep first-seen order and a
+    stable fill character across rows. Segments too small for one cell
+    are dropped from the bar (the legend still lists every segment's
+    total share).
+    """
+    lines = [title] if title else []
+    if not series:
+        return "\n".join(lines)
+    segments: list = []
+    for values in series.values():
+        for key in values:
+            if key not in segments and values[key]:
+                segments.append(key)
+    fills = {segment: _SEGMENT_FILLS[i % len(_SEGMENT_FILLS)]
+             for i, segment in enumerate(segments)}
+    label_width = max(len(str(k)) for k in series)
+    for label, values in series.items():
+        total = sum(values.get(s, 0.0) for s in segments)
+        if total <= 0:
+            lines.append(f"{str(label):<{label_width}} |")
+            continue
+        bar = []
+        used = 0
+        for segment in segments:
+            share = values.get(segment, 0.0) / total
+            cells = int(round(share * width))
+            cells = min(cells, width - used)
+            if cells > 0:
+                bar.append(fills[segment] * cells)
+                used += cells
+        lines.append(f"{str(label):<{label_width}} |{''.join(bar)}|")
+    if legend and segments:
+        totals = {s: sum(values.get(s, 0.0) for values in series.values())
+                  for s in segments}
+        grand = sum(totals.values()) or 1.0
+        lines.append("legend: " + "  ".join(
+            f"{fills[s]} {s} ({totals[s] / grand * 100:.1f}%)"
+            for s in segments))
     return "\n".join(lines)
 
 

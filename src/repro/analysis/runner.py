@@ -156,6 +156,22 @@ class RunManifest:
                     entry["ipc_ci"] = dict(result_payload["ipc_ci"])
         if error:
             entry["error"] = error
+        stack = None
+        if result_payload is not None and any(
+                key.startswith("cpi_")
+                for key in result_payload.get("counters", ())):
+            # per-workload CPI stack in the manifest: the campaign's
+            # where-did-the-cycles-go answer travels with its results
+            from repro.analysis.harness import config_signature
+            from repro.obs.accounting import stack_from_counters
+            stack = stack_from_counters(
+                result_payload["counters"],
+                width=job.config.backend.allocate_width,
+                cycles=result_payload.get("cycles", 0),
+                workload=job.workload,
+                config=config_signature(job.config),
+                instructions=result_payload.get("instructions", 0))
+            entry["cpi_stack"] = stack.to_record()
         self.jobs.append(entry)
         stream = current_metric_stream()
         if stream is not None:
@@ -168,6 +184,8 @@ class RunManifest:
                         duration_s=entry["wall_time_s"],
                         cache_hit=cache_hit, key=job.key,
                         cycle_cap_hit=bool(entry.get("cycle_cap_hit")))
+            if stack is not None:
+                stream.emit("cpi_stack", **stack.to_record())
 
     def record_event(self, kind: str, **detail) -> None:
         self.events.append({"kind": kind, **detail})

@@ -5,6 +5,8 @@ Commands
 run       simulate one workload on one configuration, print metrics
 compare   baseline vs APF (or any two configurations) on workloads
 sweep     sweep one APF parameter (depth / buffers / scheme) on a workload
+cpistack  top-down CPI stack of one run (text bars + --json), or
+          --diff A B to flag the leaves that moved between two runs
 bench     run paper benchmarks (parallel, cached, with a run manifest)
 trace     record a pipeline trace (text timeline, Chrome/Perfetto JSON,
           or gem5-O3PipeView/Konata format)
@@ -35,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -42,7 +45,16 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis import harness
 from repro.analysis import runner as runner_mod
 from repro.analysis.metrics import geomean_speedup, speedups
+from repro.analysis.plots import stacked_bar_chart
 from repro.analysis.report import render_table, summarize_histogram
+from repro.obs.accounting import (
+    apf_coverage,
+    load_stacks,
+    render_coverage,
+    render_diff,
+    render_leaf_table,
+    stack_from_result,
+)
 from repro.obs import (
     EventRecorder,
     MetricStream,
@@ -146,6 +158,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--parameter", required=True,
                          choices=("depth", "buffers", "scheme"))
     add_common(sweep_p)
+
+    cpi_p = sub.add_parser(
+        "cpistack",
+        help="top-down CPI stack: where every issue slot of every "
+             "cycle went")
+    cpi_p.add_argument("--workload", default="leela", choices=ALL_NAMES)
+    add_common(cpi_p)
+    add_apf(cpi_p)
+    cpi_p.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the stack as a JSON document instead "
+                            "of text bars")
+    cpi_p.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the JSON stack dump to PATH "
+                            "(loadable by --diff)")
+    cpi_p.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                       help="compare two stack artifacts (cpistack --out "
+                            "dumps, run manifests, or metric JSONL "
+                            "streams) and flag the leaves that moved; "
+                            "no simulation is run")
+    cpi_p.add_argument("--threshold", type=float, default=0.5,
+                       help="--diff: minimum leaf movement to report, in "
+                            "percent of issue slots (default 0.5)")
 
     bench_p = sub.add_parser(
         "bench", help="run paper benchmarks (parallel, cached)")
@@ -334,6 +368,23 @@ def _cmd_compare(args) -> int:
     print(render_table(
         ["workload", "base IPC", "APF IPC", "speedup", "MPKI"], rows,
         title="baseline vs alternate-path configuration"))
+    apf_label = _config_label(apf_cfg)
+    stacks = []
+    for name in names:
+        stacks.append(stack_from_result(base[name], base_cfg,
+                                        "base").check())
+        stacks.append(stack_from_result(apf[name], apf_cfg,
+                                        apf_label).check())
+    print()
+    print(_stack_chart(stacks))
+    for name in names:
+        result = apf[name]
+        if result.counters.get("apf_restores", 0):
+            stack = stack_from_result(result, apf_cfg, apf_label)
+            print()
+            print(f"{name}:")
+            print("\n".join("  " + line for line in
+                            _coverage_lines(stack, result, apf_cfg)))
     return 0
 
 
@@ -353,14 +404,104 @@ def _cmd_sweep(args) -> int:
                    ("dualport", dict(fetch_scheme=FetchScheme.DUAL_PORT))],
     }[args.parameter]
     rows = []
+    stacks = [stack_from_result(base, base_cfg, "base").check()]
     for label, overrides in points:
         cfg = base_cfg.with_apf(**overrides)
         result = _run_one(args.workload, cfg, args)
         rows.append((label, f"{result.ipc:.3f}",
                      f"{result.ipc / base.ipc:.3f}"))
+        stacks.append(stack_from_result(
+            result, cfg, f"{args.parameter}={label}").check())
     print(render_table([args.parameter, "IPC", "speedup"], rows,
                        title=f"{args.workload}: APF {args.parameter} sweep "
                              f"(baseline IPC {base.ipc:.3f})"))
+    print()
+    print(_stack_chart(stacks))
+    return 0
+
+
+def _config_label(config: CoreConfig) -> str:
+    if not config.apf.enabled:
+        return "base"
+    return ("dpip" if config.apf.mode is AlternatePathMode.DPIP
+            else "apf")
+
+
+def _stack_chart(stacks) -> str:
+    """100%-stacked bars over the nonzero leaves of several stacks."""
+    series = {stack.label(): {leaf: frac
+                              for leaf, frac in stack.fractions().items()
+                              if frac}
+              for stack in stacks}
+    return stacked_bar_chart(series,
+                             title="CPI stack (share of issue slots)")
+
+
+def _refill_summary(histogram):
+    """mean/p50/p90 of the refill-savings histogram, or None if empty."""
+    if not histogram.total():
+        return None
+    return {"mean": histogram.mean(), "p50": histogram.percentile(50),
+            "p90": histogram.percentile(90)}
+
+
+def _coverage_lines(stack, result, config: CoreConfig) -> List[str]:
+    coverage = apf_coverage(
+        stack,
+        refill_saved=result.refill_saved.buckets,
+        restores=result.counters.get("apf_restores", 0),
+        pipeline_depth=config.apf.pipeline_depth)
+    return render_coverage(coverage,
+                           refill_summary=_refill_summary(
+                               result.refill_saved))
+
+
+def _cmd_cpistack(args) -> int:
+    if args.diff:
+        path_a, path_b = args.diff
+        stacks_a = load_stacks(path_a)
+        stacks_b = load_stacks(path_b)
+        threshold = args.threshold / 100.0
+        if len(stacks_a) == 1 and len(stacks_b) == 1:
+            pairs = [(next(iter(stacks_a.values())),
+                      next(iter(stacks_b.values())))]
+        else:
+            common = [key for key in stacks_a if key in stacks_b]
+            if not common:
+                raise SystemExit(
+                    f"no common workload/config labels between {path_a} "
+                    f"({', '.join(stacks_a)}) and {path_b} "
+                    f"({', '.join(stacks_b)})")
+            pairs = [(stacks_a[key], stacks_b[key]) for key in common]
+        for i, (stack_a, stack_b) in enumerate(pairs):
+            if i:
+                print()
+            print("\n".join(render_diff(stack_a, stack_b, threshold)))
+        return 0
+
+    config = config_from_args(args)
+    result = _run_one(args.workload, config, args)
+    stack = stack_from_result(result, config, _config_label(config)).check()
+    record = stack.to_record()
+    stream = current_metric_stream()
+    if stream is not None:
+        stream.emit("cpi_stack", **record)
+    if args.out:
+        out = Path(args.out)
+        if out.parent != Path("."):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps({"stacks": [record]}, indent=2,
+                                  sort_keys=True) + "\n")
+        print(f"stack dump written to {out}", file=sys.stderr)
+    if args.as_json:
+        print(json.dumps({"stacks": [record]}, indent=2, sort_keys=True))
+        return 0
+    print(_stack_chart([stack]))
+    print()
+    print("\n".join(render_leaf_table(stack)))
+    if config.apf.enabled:
+        print()
+        print("\n".join(_coverage_lines(stack, result, config)))
     return 0
 
 
@@ -512,6 +653,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "cpistack": _cmd_cpistack,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
     "list": _cmd_list,

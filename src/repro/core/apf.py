@@ -106,6 +106,11 @@ class APFEngine:
         self._c_fetched_uops = stats.counter("apf_fetched_uops")
         self._c_ras_terms = stats.counter("apf_ras_terminations")
         self._c_indirect_terms = stats.counter("apf_indirect_terminations")
+        # capture provenance: a fully buffered path collapses the whole
+        # re-fill, a live (still-fetching) capture only part of it — the
+        # split explains partial savings in the APF coverage report
+        self._c_captured_buffered = stats.counter("apf_captured_buffered")
+        self._c_captured_live = stats.counter("apf_captured_live")
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -162,6 +167,8 @@ class APFEngine:
         resources."""
         if rec.apf_buffer is not None:
             buffer = rec.apf_buffer
+            if self.collect and buffer.uops:
+                self._c_captured_buffered.value += 1
             self.release_branch(rec)
             return buffer
         job = None
@@ -172,6 +179,8 @@ class APFEngine:
         if job is None:
             return None
         buffer = AlternatePathBuffer(job)
+        if self.collect and buffer.uops:
+            self._c_captured_live.value += 1
         self.release_branch(rec)
         return buffer
 

@@ -28,9 +28,18 @@ from repro.workloads.trace import DynamicTrace
 
 from repro.core.uops import DynUop, InflightBranch
 
-__all__ = ["Bundle", "BranchUnit", "MainFetchEngine", "synthetic_address"]
+__all__ = ["Bundle", "BranchUnit", "MainFetchEngine", "STALL_BTB",
+           "STALL_ICACHE", "STALL_REDIRECT", "synthetic_address"]
 
 _MASK64 = (1 << 64) - 1
+
+# Why fetch is parked until ``stall_until`` — the core's CPI-stack
+# accounting maps these to frontend leaves. Updated whenever a stall
+# source *extends* the window, so the cause always names the binding
+# constraint.
+STALL_REDIRECT = 0
+STALL_BTB = 1
+STALL_ICACHE = 2
 
 
 def synthetic_address(program: Program, pc: int, seq: int) -> int:
@@ -43,14 +52,19 @@ def synthetic_address(program: Program, pc: int, seq: int) -> int:
 class Bundle:
     """One fetch packet: up to ``width`` uops fetched in a single cycle."""
 
-    __slots__ = ("uops", "fetch_cycle", "ready_cycle", "start_pc")
+    __slots__ = ("uops", "fetch_cycle", "ready_cycle", "start_pc",
+                 "icache_extra")
 
     def __init__(self, uops: List[DynUop], fetch_cycle: int,
-                 ready_cycle: int, start_pc: int) -> None:
+                 ready_cycle: int, start_pc: int,
+                 icache_extra: int = 0) -> None:
         self.uops = uops
         self.fetch_cycle = fetch_cycle
         self.ready_cycle = ready_cycle
         self.start_pc = start_pc
+        # icache-miss cycles folded into ready_cycle; the CPI accounting
+        # splits the in-flight wait into pipe traversal vs icache tail
+        self.icache_extra = icache_extra
 
     @property
     def first_seq(self) -> int:
@@ -100,6 +114,7 @@ class MainFetchEngine:
         self.pc = trace.uops[0].pc if len(trace) else program.entry_pc
         self.dead = False              # off-image wrong path / end of trace
         self.stall_until = 0
+        self.stall_cause = STALL_REDIRECT
         self.seq = 0
         self.misfetch_penalty = (self.fe.bp_stages + self.fe.fetch_stages
                                  + self.fe.decode_stages)
@@ -141,6 +156,7 @@ class MainFetchEngine:
             "pc": self.pc,
             "dead": self.dead,
             "stall_until": self.stall_until,
+            "stall_cause": self.stall_cause,
             "seq": self.seq,
         }
 
@@ -152,6 +168,7 @@ class MainFetchEngine:
         self.pc = state["pc"]
         self.dead = state["dead"]
         self.stall_until = state["stall_until"]
+        self.stall_cause = state["stall_cause"]
         self.seq = state["seq"]
         self.cycle_tage_banks = set()
         self.cycle_icache_banks = set()
@@ -164,12 +181,14 @@ class MainFetchEngine:
         self.wrong_path = False
         self.dead = cursor >= len(self.trace)
         self.stall_until = now + 1
+        self.stall_cause = STALL_REDIRECT
 
     def redirect_wrong_path(self, pc: int, now: int) -> None:
         self.pc = pc
         self.wrong_path = True
         self.dead = self.program.uop_at(pc) is None
         self.stall_until = now + 1
+        self.stall_cause = STALL_REDIRECT
 
     # -- fetch -------------------------------------------------------------
 
@@ -240,6 +259,8 @@ class MainFetchEngine:
             ready += extra
             if now + 1 + extra > self.stall_until:
                 self.stall_until = now + 1 + extra
+                self.stall_cause = STALL_ICACHE
+            return Bundle(uops, now, ready, start_pc, extra)
         return Bundle(uops, now, ready, start_pc)
 
     def _fetch_one(self, now: int) -> Optional[DynUop]:
@@ -303,8 +324,10 @@ class MainFetchEngine:
                 self._c_btb_misfetches.value += 1
             if self.obs is not None:
                 self.obs.on_btb_misfetch(now, su.pc)
-            self.stall_until = max(self.stall_until,
-                                   now + 1 + self.misfetch_penalty)
+            until = now + 1 + self.misfetch_penalty
+            if until > self.stall_until:
+                self.stall_until = until
+                self.stall_cause = STALL_BTB
             target = su.target if su.target >= 0 else su.fallthrough
             self.bu.btb.insert(su.pc, su.kind, target)
 

@@ -39,6 +39,8 @@ from repro.workloads.trace import DynamicTrace
 
 from repro.core.apf import AlternatePathBuffer, APFEngine
 from repro.core.fetch_engine import (
+    STALL_BTB,
+    STALL_ICACHE,
     BranchUnit,
     MainFetchEngine,
     synthetic_address,
@@ -161,6 +163,35 @@ class OoOCore:
         self._c_timeshare_alt = stats.counter("timeshare_alt_cycles")
         self._c_cycle_cap_hit = stats.counter("cycle_cap_hit")
 
+        # CPI-stack slot attribution (taxonomy owned by
+        # repro.obs.accounting; the core only fills these collect-gated
+        # cells, so the stack flows through warmup gating, measured(),
+        # snapshot/restore and sampling diffs like any other counter).
+        # cpi_frontend_itlb is reserved in the taxonomy but has no cell:
+        # the fetch path models no ITLB.
+        self._c_cpi_base = stats.counter("cpi_base")
+        self._c_cpi_wrong_path = stats.counter("cpi_bad_spec_wrong_path")
+        self._c_cpi_refill_covered = stats.counter(
+            "cpi_bad_spec_refill_apf_covered")
+        self._c_cpi_refill_uncovered = stats.counter(
+            "cpi_bad_spec_refill_apf_uncovered")
+        self._c_cpi_refill_non_h2p = stats.counter(
+            "cpi_bad_spec_refill_non_h2p")
+        self._c_cpi_fe_icache = stats.counter("cpi_frontend_icache")
+        self._c_cpi_fe_btb = stats.counter("cpi_frontend_btb_redirect")
+        self._c_cpi_fe_ftq_empty = stats.counter("cpi_frontend_ftq_empty")
+        self._c_cpi_be_rob = stats.counter("cpi_backend_rob")
+        self._c_cpi_be_sched = stats.counter("cpi_backend_scheduler")
+        self._c_cpi_be_lq = stats.counter("cpi_backend_lq")
+        self._c_cpi_be_sq = stats.counter("cpi_backend_sq")
+        self._c_cpi_be_dram = stats.counter("cpi_backend_dram")
+        self._c_cpi_retire_bw = stats.counter("cpi_retire_bw")
+        # a rob-full stall whose head load is still further from completion
+        # than a full on-chip hit chain is DRAM-bound
+        mem = config.memory
+        self._dram_bound_lat = (mem.dcache.hit_latency + mem.l2.hit_latency
+                                + mem.llc.hit_latency)
+
         self.now = 0
         self.retired = 0
         self.warmup_target = 0
@@ -170,6 +201,13 @@ class OoOCore:
         #: stall counter a blocked allocation would fire during a skipped
         #: window (set by _next_cycle, batched by _run_skipping)
         self._stall_cell = None
+        #: refill-attribution cell armed by a mispredict recovery and
+        #: disarmed by the next allocation: idle allocation slots in
+        #: between are re-fill penalty of that recovery's coverage class
+        self._refill_cell = None
+        #: cpi_base + cpi_bad_spec_wrong_path at the last accounted cycle;
+        #: _account_cycle diffs against it to find this cycle's fill
+        self._last_alloc_total = 0
         #: latched True when a run() exhausts max_cycles before retiring its
         #: target — surfaced as a warning in the run manifest
         self.cycle_cap_hit = False
@@ -251,6 +289,8 @@ class OoOCore:
                 self._retire()
             self._allocate()
             self._fetch_and_apf()
+            if self._collect:
+                self._account_cycle()
             self.now += 1
             if (self.now & trim_mask) == 0:
                 self.exec.trim(self.now - trim_horizon)
@@ -284,6 +324,8 @@ class OoOCore:
                 self._retire()
             self._allocate()
             self._fetch_and_apf()
+            if self._collect:
+                self._account_cycle()
             if self.retired >= target:
                 # the reference loop ticks once more before noticing the
                 # target was hit; mirror that, not a wakeup jump
@@ -304,6 +346,10 @@ class OoOCore:
                     cell.value += skipped
                 if len(ftq) >= ftq_entries:
                     stall_ftq.value += skipped
+                # every skipped cycle would have attributed a full width
+                # of idle slots; the classification inputs are constant
+                # inside the window (same argument as _stall_cell)
+                self._account_idle(now + 1, nxt - 1, self._allocate_width)
             self.now = nxt
             if nxt >= next_trim:
                 self.exec.trim(nxt - trim_horizon)
@@ -418,6 +464,144 @@ class OoOCore:
                     best = t
         return best
 
+    # ------------------------------------------------------------------
+    # CPI-stack slot accounting (taxonomy: repro.obs.accounting)
+    # ------------------------------------------------------------------
+
+    def _account_cycle(self) -> None:
+        """Attribute this executed cycle's idle allocation slots.
+
+        Filled slots were attributed at allocation time
+        (:meth:`_allocate_uop` bumps ``cpi_base`` or the wrong-path
+        leaf); whatever is left of the allocate width is classified from
+        post-phase state by :meth:`_account_idle`.
+        """
+        total = self._c_cpi_base.value + self._c_cpi_wrong_path.value
+        left = self._allocate_width - (total - self._last_alloc_total)
+        self._last_alloc_total = total
+        if left > 0:
+            now = self.now
+            self._account_idle(now, now, left)
+
+    def _account_idle(self, start: int, end: int, slots: int) -> None:
+        """Attribute ``slots`` idle allocation slots per cycle over the
+        inclusive cycle range ``[start, end]`` to exactly one CPI leaf
+        each.
+
+        Shared by both drivers: an executed cycle passes its own
+        leftover (``start == end``), the skipping loop passes a whole
+        skipped window at full width. Every classification input is
+        provably constant inside a skipped window — state only mutates
+        on executed cycles, and :meth:`_next_cycle` ends the window at
+        the earliest cycle anything could change — except two pure
+        functions of the cycle index (the rob-full DRAM split and the
+        in-flight bundle's pipe-vs-icache split), which are integrated
+        over the range in O(1).
+        """
+        ncycles = end - start + 1
+        total = slots * ncycles
+        # mirror _allocate's head selection: restore queue first, then FTQ
+        pending = None
+        rq = self.restore_queue
+        if rq and rq[0][0] <= start:
+            pending = rq[0][1]
+        ftq = self.ftq
+        if pending is None and ftq:
+            head = ftq[0]
+            bundle = head[0]
+            if head[1] < len(bundle.uops) and bundle.ready_cycle <= start:
+                pending = bundle.uops[head[1]]
+        if pending is not None:
+            # ready supply the backend refused: same check order as
+            # _allocate, so the leaf agrees with the raw stall counter
+            rob = self.rob
+            if len(rob) >= self._rob_entries:
+                du = rob[0]
+                done = du.done_cycle
+                if done <= start:
+                    # head complete yet the ROB is still full: the drain
+                    # is retire-bandwidth limited (never true inside a
+                    # window — completion is a wake source)
+                    self._c_cpi_retire_bw.value += total
+                elif du.static.op is Op.LOAD:
+                    # cycles further than a full on-chip hit chain from
+                    # the head load's completion are DRAM-bound
+                    dram_last = done - self._dram_bound_lat - 1
+                    if dram_last > end:
+                        dram_last = end
+                    n_dram = dram_last - start + 1
+                    if n_dram > 0:
+                        dram = slots * n_dram
+                        self._c_cpi_be_dram.value += dram
+                        self._c_cpi_be_rob.value += total - dram
+                    else:
+                        self._c_cpi_be_rob.value += total
+                else:
+                    self._c_cpi_be_rob.value += total
+            elif len(self.sched_heap) >= self._sched_entries:
+                self._c_cpi_be_sched.value += total
+            else:
+                op = pending.static.op
+                if op is Op.LOAD and self.load_count >= self._lq_entries:
+                    self._c_cpi_be_lq.value += total
+                elif op is Op.STORE \
+                        and self.store_count >= self._sq_entries:
+                    self._c_cpi_be_sq.value += total
+                else:
+                    # unreachable by _allocate's postcondition (a ready
+                    # head with backend space is only left by budget
+                    # exhaustion, which leaves no idle slots); keep the
+                    # invariant anyway by calling the slots useful
+                    self._c_cpi_base.value += total
+                    self._last_alloc_total += total
+            return
+        cell = self._refill_cell
+        if cell is not None:
+            # between a mispredict recovery and the next allocation every
+            # idle slot is re-fill penalty of that recovery's class
+            cell.value += total
+            return
+        if rq:
+            # staggered APF restore in flight: gap cycles between restore
+            # groups are residual covered-refill penalty
+            self._c_cpi_refill_covered.value += total
+            return
+        if ftq:
+            head = ftq[0]
+            bundle = head[0]
+            if head[1] < len(bundle.uops):
+                ready = bundle.ready_cycle
+                if ready > start:
+                    # head in flight: pipe-traversal cycles count as
+                    # frontend latency, the icache-extension tail as
+                    # icache-bound
+                    icache_first = ready - bundle.icache_extra
+                    if icache_first < start:
+                        icache_first = start
+                    n_icache = end - icache_first + 1
+                    if n_icache > 0:
+                        ic = slots * n_icache
+                        self._c_cpi_fe_icache.value += ic
+                        self._c_cpi_fe_ftq_empty.value += total - ic
+                    else:
+                        self._c_cpi_fe_ftq_empty.value += total
+                    return
+            # exhausted head bundle: plain frontend bubble
+            self._c_cpi_fe_ftq_empty.value += total
+            return
+        fetch = self.fetch
+        if fetch.stall_until > start:
+            cause = fetch.stall_cause
+            if cause == STALL_BTB:
+                self._c_cpi_fe_btb.value += total
+            elif cause == STALL_ICACHE:
+                self._c_cpi_fe_icache.value += total
+            else:
+                self._c_cpi_fe_ftq_empty.value += total
+            return
+        # dead fetch, exhausted trace, or end-of-run drain
+        self._c_cpi_fe_ftq_empty.value += total
+
     # measured-window helpers ------------------------------------------------
 
     def _set_collect(self, flag: bool) -> None:
@@ -493,6 +677,8 @@ class OoOCore:
         self.fetch.redirect_on_trace(self.retired, self.now)
         # squashed producers' values are architecturally available now
         self.rename.settle(self.now)
+        # any in-progress refill window died with the pipeline
+        self._refill_cell = None
 
     def snapshot(self) -> dict:
         """Capture the full core state at a quiescent point.
@@ -543,6 +729,12 @@ class OoOCore:
         self.warmup_snapshot = dict(state["warmup_snapshot"])
         self._set_collect(state["collect"])
         self.stats.load_state(state["stats"])
+        self._refill_cell = None
+        # at any cycle boundary the accounted-fill baseline equals the
+        # fill cells themselves (every collected cycle re-syncs it), so
+        # it is derivable rather than snapshotted
+        self._last_alloc_total = (self._c_cpi_base.value
+                                  + self._c_cpi_wrong_path.value)
         self.fetch.restore(state["fetch"])
         self.rename.restore_state(state["rename"])
         self.exec.restore(state["exec"])
@@ -595,6 +787,16 @@ class OoOCore:
                 hist.add(0)
             else:
                 hist.add(-1)   # misprediction on a branch never marked
+        # arm the refill-attribution class for the idle slots between this
+        # recovery and the next allocation; mirrors the refill_saved
+        # histogram's coverage buckets (non-conditional mispredicts are
+        # never marked, so they land in non-h2p)
+        if buffer is not None and buffer.uops:
+            self._refill_cell = self._c_cpi_refill_covered
+        elif rec.h2p_marked or rec.low_conf:
+            self._refill_cell = self._c_cpi_refill_uncovered
+        else:
+            self._refill_cell = self._c_cpi_refill_non_h2p
         if buffer is not None and buffer.uops:
             self._c_apf_restores.value += 1
             self._restore_from_buffer(rec, buffer)
@@ -845,6 +1047,14 @@ class OoOCore:
 
     def _allocate_uop(self, du: DynUop) -> None:
         now = self.now
+        # the slot is filled: attribute it, and close any refill window
+        if self._refill_cell is not None:
+            self._refill_cell = None
+        if self._collect:
+            if du.wrong_path:
+                self._c_cpi_wrong_path.value += 1
+            else:
+                self._c_cpi_base.value += 1
         rename = self.rename
         source_ready = rename.source_ready
         su = du.static

@@ -21,8 +21,24 @@ Three layers, cheapest first:
   gem5-O3PipeView/Konata text; :mod:`repro.obs.metrics` defines the
   machine-readable metric schema and the JSONL :class:`MetricStream`
   the runner manifest and sampling intervals publish into.
+* **Cycle accounting** — :mod:`repro.obs.accounting` owns the top-down
+  CPI-stack taxonomy the core's ``cpi_*`` counters attribute every
+  issue slot into, the ``width * cycles`` sum invariant, and the
+  rendering/diff/coverage layer behind ``repro cpistack``.
 """
 
+from repro.obs.accounting import (
+    CPI_GROUPS,
+    CPI_LEAVES,
+    CpiStack,
+    CpiStackError,
+    apf_coverage,
+    cpi_slot_deltas,
+    diff_stacks,
+    load_stacks,
+    stack_from_counters,
+    stack_from_result,
+)
 from repro.obs.events import (
     EV_ALLOC,
     EV_APF_BUFFER_FILL,
@@ -68,6 +84,7 @@ from repro.obs.metrics import (
 )
 
 __all__ = [
+    "CPI_GROUPS", "CPI_LEAVES", "CpiStack", "CpiStackError",
     "EV_ALLOC", "EV_APF_BUFFER_FILL", "EV_APF_JOB_COMPLETE",
     "EV_APF_JOB_START", "EV_BTB_MISFETCH", "EV_FETCH", "EV_FETCH_BUNDLE",
     "EV_ICACHE_STALL", "EV_RESOLVE", "EV_RESTORE", "EV_RETIRE",
@@ -75,8 +92,10 @@ __all__ = [
     "EventRecorder", "ExportFormatError", "F_BRANCH", "F_MISPREDICT",
     "F_RESTORED", "F_WRONG_PATH", "METRIC_KINDS", "METRIC_SCHEMA_VERSION",
     "MetricSchemaError", "MetricStream", "MultiSink", "ObsSink", "UopLife",
-    "chrome_trace", "current_metric_stream", "o3_pipeview",
-    "replay_timelines", "result_metric_fields", "using_metric_stream",
-    "validate_chrome_trace", "validate_metric_record", "validate_o3_trace",
-    "write_chrome_trace", "write_o3_pipeview",
+    "apf_coverage", "chrome_trace", "cpi_slot_deltas",
+    "current_metric_stream", "diff_stacks", "load_stacks", "o3_pipeview",
+    "replay_timelines", "result_metric_fields", "stack_from_counters",
+    "stack_from_result", "using_metric_stream", "validate_chrome_trace",
+    "validate_metric_record", "validate_o3_trace", "write_chrome_trace",
+    "write_o3_pipeview",
 ]

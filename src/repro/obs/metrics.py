@@ -5,7 +5,7 @@ Every record is one JSON object per line (JSONL) of the shape::
     {"schema": 1, "kind": "<kind>", ...kind-specific fields...}
 
 The schema is deliberately small and closed: :data:`METRIC_KINDS` names
-the four record kinds and their required fields, and
+the record kinds and their required fields, and
 :func:`validate_metric_record` rejects anything else with a
 :class:`MetricSchemaError` *before* it reaches disk — a consumer parsing
 the stream never needs defensive code for half-written shapes. Extra
@@ -72,6 +72,17 @@ METRIC_KINDS = {
         "p90": _NUM,
         "mean": _NUM,
         "samples": (int,),
+    },
+    # one run's CPI-stack slot attribution (repro.obs.accounting
+    # taxonomy; slots maps leaf name -> attributed issue slots and must
+    # sum to width * cycles)
+    "cpi_stack": {
+        "workload": (str,),
+        "config": (str,),
+        "width": (int,),
+        "cycles": (int,),
+        "instructions": (int,),
+        "slots": (dict,),
     },
 }
 

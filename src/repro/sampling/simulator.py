@@ -34,6 +34,7 @@ from repro.workloads.trace import DynamicTrace
 
 from repro.core.ooo_core import OoOCore
 from repro.core.simulator import SimResult
+from repro.obs.accounting import cpi_slot_deltas
 from repro.obs.metrics import current_metric_stream
 from repro.sampling.fastforward import FunctionalWarmer
 from repro.sampling.plan import SamplingPlan
@@ -98,10 +99,15 @@ class SamplingSimulator:
             interval_ipcs.append(ratio(instructions, cycles))
             stream = current_metric_stream()
             if stream is not None:
+                # the per-interval CPI-stack slice rides along as an
+                # extra field: consumers can check the sum invariant
+                # (width * cycles) per interval, not just per run
                 stream.emit("sampling_interval", workload=workload,
                             index=k, instructions=instructions,
                             cycles=cycles,
-                            ipc=ratio(instructions, cycles))
+                            ipc=ratio(instructions, cycles),
+                            cpi_slots=cpi_slot_deltas(
+                                counters_before, core.stats.counters))
             total_instructions += instructions
             total_cycles += cycles
             for key, value in core.stats.counters.items():

@@ -1,0 +1,386 @@
+"""Top-down CPI-stack accounting: taxonomy, sum invariant, persistence.
+
+The hard invariant everywhere: every issue slot of every collected cycle
+lands in exactly one leaf, so the leaves sum to ``width * cycles``
+bit-exactly — for dense runs, warmed-up runs, runs split by
+snapshot/restore, and every individual sampling interval.  Driver
+equivalence (reference loop vs skipping loop) is pinned in
+``test_loop_equivalence.py``; this file covers the accounting module
+itself and the end-to-end surfaces (metrics, sampling, CLI, golden).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.common.config import small_core_config
+from repro.core.ooo_core import OoOCore
+from repro.obs import (
+    EventRecorder,
+    MetricStream,
+    using_metric_stream,
+    validate_metric_record,
+)
+from repro.obs.accounting import (
+    CPI_GROUPS,
+    CPI_LEAVES,
+    CpiStack,
+    CpiStackError,
+    apf_coverage,
+    cpi_slot_deltas,
+    diff_stacks,
+    load_stacks,
+    render_coverage,
+    render_diff,
+    render_leaf_table,
+    stack_from_counters,
+)
+from repro.sampling import SamplingPlan, SamplingSimulator
+from repro.workloads.profiles import build_workload, workload_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SEED = 7
+WIDTH = small_core_config().backend.allocate_width
+
+REFILL_LEAVES = ("bad_spec_refill_apf_covered",
+                 "bad_spec_refill_apf_uncovered",
+                 "bad_spec_refill_non_h2p")
+
+
+def make_core(workload="leela", length=8_000, apf=False, seed=SEED):
+    config = small_core_config().with_apf() if apf else small_core_config()
+    program = build_workload(workload)
+    trace = workload_trace(workload, length)
+    return OoOCore(config, program, trace, seed=seed), config
+
+
+def run_stack(workload="leela", length=8_000, apf=False, warmup=0):
+    core, config = make_core(workload, length, apf)
+    if warmup:
+        core.run(length, warmup=warmup)
+        cycles = core.measured_cycles()
+        counters = {key: core.measured(key) for key in core.stats.counters}
+        retired = core.measured_instructions()
+    else:
+        core.run(length)
+        cycles = core.now
+        counters = core.stats.counters
+        retired = core.retired
+    stack = stack_from_counters(counters, width=WIDTH, cycles=cycles,
+                                workload=workload,
+                                config="apf" if apf else "base",
+                                instructions=retired)
+    return stack, core, config
+
+
+# --------------------------------------------------------------------------
+# The CpiStack dataclass and module helpers
+# --------------------------------------------------------------------------
+
+class TestCpiStackModel:
+    def test_taxonomy_is_closed(self):
+        flat = [leaf for leaves in CPI_GROUPS.values() for leaf in leaves]
+        assert tuple(flat) == CPI_LEAVES
+        assert len(set(CPI_LEAVES)) == len(CPI_LEAVES)
+
+    def test_unknown_leaf_rejected(self):
+        with pytest.raises(CpiStackError):
+            CpiStack(width=8, cycles=1, slots={"made_up_leaf": 8})
+
+    def test_missing_leaves_zero_filled_and_check(self):
+        stack = CpiStack(width=8, cycles=2, slots={"base": 16})
+        assert stack.slots["backend_dram"] == 0
+        assert stack.check() is stack
+        stack.slots["base"] = 15
+        with pytest.raises(CpiStackError, match="does not sum"):
+            stack.check()
+
+    def test_record_round_trip_omits_zeros(self):
+        stack = CpiStack(width=8, cycles=4, slots={"base": 20,
+                                                   "backend_rob": 12},
+                         workload="leela", config="apf", instructions=20)
+        record = stack.to_record()
+        assert record["slots"] == {"base": 20, "backend_rob": 12}
+        assert CpiStack.from_record(record).slots == stack.slots
+        with pytest.raises(CpiStackError):
+            CpiStack.from_record({"slots": {}})
+
+    def test_cpi_slot_deltas_strips_prefix_and_ignores_rest(self):
+        before = {"cpi_base": 5, "stall_rob_full": 3}
+        after = {"cpi_base": 9, "cpi_backend_rob": 2, "stall_rob_full": 9}
+        assert cpi_slot_deltas(before, after) == {"base": 4,
+                                                 "backend_rob": 2}
+
+    def test_diff_orders_by_magnitude(self):
+        a = CpiStack(width=1, cycles=100, slots={"base": 60,
+                                                 "backend_rob": 40})
+        b = CpiStack(width=1, cycles=100, slots={"base": 80,
+                                                 "backend_rob": 10,
+                                                 "frontend_icache": 10})
+        rows = diff_stacks(a, b, threshold=0.05)
+        assert rows[0][0] == "backend_rob"
+        assert rows[0][3] == pytest.approx(-0.30)
+        leaves = [row[0] for row in rows]
+        assert leaves == ["backend_rob", "base", "frontend_icache"]
+        text = "\n".join(render_diff(a, b, threshold=0.05))
+        assert "diagnosis" in text and "backend" in text
+
+
+# --------------------------------------------------------------------------
+# Core attribution: invariant, warmup, APF semantics
+# --------------------------------------------------------------------------
+
+class TestCoreAttribution:
+    @pytest.mark.parametrize("workload", ["leela", "mcf", "tc"])
+    @pytest.mark.parametrize("apf", [False, True])
+    def test_sum_invariant_dense(self, workload, apf):
+        stack, _, _ = run_stack(workload, apf=apf)
+        stack.check()
+
+    @pytest.mark.parametrize("apf", [False, True])
+    def test_sum_invariant_measured_window(self, apf):
+        """With warmup gating on, the *measured* deltas alone must sum to
+        width * measured cycles — attribution starts and stops cleanly at
+        the collection boundary."""
+        stack, _, _ = run_stack("leela", apf=apf, warmup=2_000)
+        assert stack.cycles > 0
+        stack.check()
+
+    def test_apf_covered_leaf_gated_on_apf(self):
+        base, _, _ = run_stack("leela", apf=False)
+        apf, _, _ = run_stack("leela", apf=True)
+        assert base.slots["bad_spec_refill_apf_covered"] == 0
+        assert apf.slots["bad_spec_refill_apf_covered"] > 0
+
+    def test_itlb_leaf_reserved_and_zero(self):
+        stack, core, _ = run_stack("leela", apf=True)
+        assert stack.slots["frontend_itlb"] == 0
+        assert "cpi_frontend_itlb" not in core.stats.counters
+
+    def test_refill_delta_consistent_with_measured_savings(self):
+        """Fig. 8 reconciliation: the refill slots the baseline pays but
+        APF does not must be of the same order as the refill cycles the
+        APF engine reports saving (secondary effects — different paths,
+        different mispredict counts — keep this loose)."""
+        base, _, _ = run_stack("leela", apf=False)
+        apf, core, _ = run_stack("leela", apf=True)
+        delta = (sum(base.leaf_cycles(leaf) for leaf in REFILL_LEAVES)
+                 - sum(apf.leaf_cycles(leaf) for leaf in REFILL_LEAVES))
+        saved = sum(bucket * count for bucket, count in
+                    core.stats.histograms["refill_saved"].buckets.items()
+                    if bucket > 0)
+        assert saved > 0
+        assert delta >= 0.5 * saved
+        assert delta <= 8.0 * saved
+
+    def test_accounting_across_snapshot_restore(self):
+        """A quiesce/snapshot/restore boundary must neither drop nor
+        double-count slots: the boundary itself is a clean attribution
+        point, and the composed run (restored counters + second half)
+        still satisfies the sum invariant against the composed cycle
+        count — any lost or duplicated slot would break it."""
+        length = 8_000
+        first, _ = make_core("tc", length, apf=True)
+        first.run(length // 2)
+        first.quiesce()
+        state = first.snapshot()
+        mid = stack_from_counters(first.stats.counters, width=WIDTH,
+                                  cycles=first.now)
+        mid.check()
+        second, _ = make_core("tc", length, apf=True)
+        second.restore(state)
+        second.run(length)
+        resumed = stack_from_counters(second.stats.counters, width=WIDTH,
+                                      cycles=second.now)
+        resumed.check()
+        assert second.now > first.now
+        # monotone: the second half only adds slots on top of the first
+        assert all(resumed.slots[leaf] >= mid.slots[leaf]
+                   for leaf in CPI_LEAVES)
+
+
+# --------------------------------------------------------------------------
+# Sampling: per-interval invariant + occupancy histograms
+# --------------------------------------------------------------------------
+
+class TestSamplingAccounting:
+    PLAN = SamplingPlan(intervals=4, period=2_000, detailed_warmup=150,
+                        measure=600)
+
+    def run_sampled(self, tmp_path, apf=True):
+        config = (small_core_config().with_apf() if apf
+                  else small_core_config())
+        path = tmp_path / "metrics.jsonl"
+        with MetricStream(path) as stream, using_metric_stream(stream):
+            result = SamplingSimulator(config, seed=SEED).run("leela",
+                                                              self.PLAN)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        intervals = [r for r in records if r["kind"] == "sampling_interval"]
+        return result, intervals
+
+    def test_every_interval_sums_to_width_times_cycles(self, tmp_path):
+        result, intervals = self.run_sampled(tmp_path)
+        assert len(intervals) == self.PLAN.intervals
+        for record in intervals:
+            slots = record["cpi_slots"]
+            assert sum(slots.values()) == WIDTH * record["cycles"]
+            # and each interval's slice is itself a valid (sub-)stack
+            CpiStack(width=WIDTH, cycles=record["cycles"],
+                     slots={k: v for k, v in slots.items()}).check()
+
+    def test_summed_counters_match_interval_totals(self, tmp_path):
+        result, intervals = self.run_sampled(tmp_path)
+        summed = {leaf: 0 for leaf in CPI_LEAVES}
+        total_cycles = 0
+        for record in intervals:
+            total_cycles += record["cycles"]
+            for leaf, slots in record["cpi_slots"].items():
+                summed[leaf] += slots
+        from_result = {key[len("cpi_"):]: value
+                       for key, value in result.counters.items()
+                       if key.startswith("cpi_")}
+        assert {k: v for k, v in summed.items() if v} == from_result
+        assert sum(summed.values()) == WIDTH * total_cycles
+
+    def test_occupancy_histograms_survive_interval_boundaries(self):
+        """An observability sink attached across quiesce/snapshot/restore
+        keeps feeding occupancy histograms and the accounting stays
+        exact — the two layers share the same state-change points."""
+        core, _ = make_core("leela", 6_000, apf=True)
+        recorder = EventRecorder()
+        core.attach_obs(recorder)
+        core.run(3_000)
+        core.quiesce()
+        state = core.snapshot()
+        rows_mid = recorder.occupancy_rows()
+        assert rows_mid, "quiesced run produced occupancy samples"
+        resumed, _ = make_core("leela", 6_000, apf=True)
+        recorder2 = EventRecorder()
+        resumed.attach_obs(recorder2)
+        resumed.restore(state)
+        resumed.run(6_000)
+        stack_from_counters(resumed.stats.counters, width=WIDTH,
+                            cycles=resumed.now).check()
+        names = {row[0] for row in recorder2.occupancy_rows()}
+        assert "rob" in names
+        for name, p50, p90, mean, samples in recorder2.occupancy_rows():
+            assert samples > 0
+            assert p50 <= p90
+            assert mean >= 0
+
+
+# --------------------------------------------------------------------------
+# Metric schema + APF coverage report
+# --------------------------------------------------------------------------
+
+class TestMetricsAndCoverage:
+    def test_cpi_stack_record_validates(self):
+        stack, _, _ = run_stack("leela", apf=True)
+        record = dict(stack.to_record())
+        record["kind"] = "cpi_stack"
+        record["schema"] = 1
+        validate_metric_record(record)
+
+    def test_apf_coverage_reconciles(self):
+        stack, core, config = run_stack("leela", apf=True)
+        hist = core.stats.histograms["refill_saved"]
+        coverage = apf_coverage(
+            stack, refill_saved=hist.buckets,
+            restores=core.stats.counters.get("apf_restores", 0),
+            pipeline_depth=config.apf.pipeline_depth)
+        assert coverage["restores"] > 0
+        assert 0.0 < coverage["recovered_fraction"] <= 1.0
+        assert coverage["saved_cycles"] <= coverage["theoretical_cycles"]
+        assert (coverage["residual_covered_refill_cycles"]
+                == stack.leaf_cycles("bad_spec_refill_apf_covered"))
+        text = "\n".join(render_coverage(
+            coverage, refill_summary={"mean": hist.mean(),
+                                      "p50": hist.percentile(50),
+                                      "p90": hist.percentile(90)}))
+        assert "refill cycles saved" in text
+        assert "histogram" in text
+
+    def test_render_leaf_table_shape(self):
+        stack, _, _ = run_stack("leela", apf=True)
+        lines = render_leaf_table(stack)
+        assert lines[0].startswith("CPI stack for leela/apf")
+        assert any("[backend]" in line for line in lines)
+        assert "100.00%" in lines[-1]
+
+
+# --------------------------------------------------------------------------
+# Artifact loading + CLI + golden
+# --------------------------------------------------------------------------
+
+CLI_ARGS = ["--workload", "leela", "--apf", "--warmup", "300",
+            "--measure", "1200", "--seed", "7", "--no-cache"]
+
+
+class TestCliAndArtifacts:
+    def cpistack(self, capsys, *extra):
+        code = main(["cpistack", *CLI_ARGS, *extra])
+        out = capsys.readouterr().out
+        assert code == 0
+        return out
+
+    def test_text_output(self, capsys):
+        out = self.cpistack(capsys)
+        assert "CPI stack (share of issue slots)" in out
+        assert "legend:" in out
+        assert "APF coverage" in out
+
+    def test_json_and_diff_round_trip(self, capsys, tmp_path):
+        apf_dump = tmp_path / "apf.json"
+        out = self.cpistack(capsys, "--json", "--out", str(apf_dump))
+        doc = json.loads(out)
+        assert [s["config"] for s in doc["stacks"]] == ["apf"]
+        stacks = load_stacks(apf_dump)
+        assert list(stacks) == ["leela/apf"]
+        stacks["leela/apf"].check()
+
+        base_dump = tmp_path / "base.json"
+        code = main(["cpistack", "--workload", "leela", "--warmup", "300",
+                     "--measure", "1200", "--seed", "7", "--no-cache",
+                     "--out", str(base_dump)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["cpistack", "--diff", str(base_dump), str(apf_dump)])
+        assert code == 0
+        diff_out = capsys.readouterr().out
+        assert "CPI-stack diff" in diff_out
+        assert "diagnosis" in diff_out
+
+    def test_emit_metrics_stream_is_loadable(self, capsys, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        self.cpistack(capsys, "--emit-metrics", str(path))
+        for line in path.read_text().splitlines():
+            validate_metric_record(json.loads(line))
+        stacks = load_stacks(path)
+        assert "leela/apf" in stacks
+        stacks["leela/apf"].check()
+
+    def test_load_stacks_rejects_junk(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(CpiStackError):
+            load_stacks(bad)
+
+    def test_golden_stack(self, capsys):
+        """Pin the exact attribution of the canonical tiny run.  After a
+        deliberate taxonomy/attribution change, regenerate with::
+
+            REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+                tests/test_cpi_accounting.py -q
+        """
+        out = self.cpistack(capsys, "--json")
+        path = GOLDEN_DIR / "tiny_leela.cpistack.json"
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(out, encoding="utf-8")
+        assert path.exists(), (f"golden file {path} missing; regenerate "
+                               f"with REPRO_REGEN_GOLDEN=1")
+        assert json.loads(out) == json.loads(path.read_text())

@@ -14,6 +14,8 @@ import pytest
 
 from repro.common.config import small_core_config
 from repro.core.ooo_core import OoOCore
+from repro.obs import ObsSink
+from repro.obs.accounting import CPI_PREFIX, stack_from_counters
 from repro.workloads.profiles import build_workload, workload_trace
 
 WORKLOADS = ["leela", "mcf", "tc"]
@@ -82,3 +84,63 @@ class TestLoopEquivalence:
             finals[mode] = fingerprint(second)
         assert boundaries["skip"] == boundaries["ref"]
         assert finals["skip"] == finals["ref"]
+
+    def test_cpi_stack_sums_and_matches_across_drivers(self, workload,
+                                                       config_key):
+        """Every issue slot is attributed to exactly one CPI-stack leaf:
+        the leaves sum to ``width * cycles`` bit-exactly, and the whole
+        stack is identical under both loop drivers."""
+        width = CONFIGS[config_key]().backend.allocate_width
+        stacks = {}
+        for mode, cycle_by_cycle in (("ref", True), ("skip", False)):
+            core = make_core(workload, config_key)
+            core.run(TOTAL, cycle_by_cycle=cycle_by_cycle)
+            stack = stack_from_counters(core.stats.counters, width=width,
+                                        cycles=core.now, workload=workload,
+                                        config=config_key,
+                                        instructions=core.retired)
+            stack.check()   # raises on any sum-invariant violation
+            stacks[mode] = stack
+        assert stacks["skip"].slots == stacks["ref"].slots
+
+    def test_exactly_one_backend_stall_per_blocked_cycle(self, workload,
+                                                         config_key):
+        """A blocked allocation cycle fires exactly one backend stall
+        counter — never zero-and-blocked, never two (the _allocate
+        priority chain returns right after the first increment)."""
+        core = make_core(workload, config_key)
+        cells = (core._c_stall_rob, core._c_stall_sched,
+                 core._c_stall_lq, core._c_stall_sq)
+        original = core._allocate
+        violations = []
+
+        def checked_allocate():
+            before = tuple(cell.value for cell in cells)
+            original()
+            deltas = [cell.value - prev
+                      for cell, prev in zip(cells, before)]
+            if sum(deltas) > 1 or any(d not in (0, 1) for d in deltas):
+                violations.append((core.now, deltas))
+
+        core._allocate = checked_allocate
+        core.run(TOTAL, cycle_by_cycle=True)
+        assert not violations
+        assert sum(cell.value for cell in cells) > 0, \
+            "workloads are sized to exercise at least one backend stall"
+
+    def test_obs_sink_does_not_change_timing_or_attribution(
+            self, workload, config_key):
+        """Attaching an observability sink must leave cycles, retirement,
+        and every cpi_* leaf bit-identical (events fire off the same
+        state changes the accounting already observes)."""
+        plain = make_core(workload, config_key)
+        plain.run(TOTAL)
+        observed = make_core(workload, config_key)
+        observed.attach_obs(ObsSink())
+        observed.run(TOTAL)
+        assert fingerprint(observed) == fingerprint(plain)
+        cpi = {k: v for k, v in plain.stats.counters.items()
+               if k.startswith(CPI_PREFIX)}
+        assert cpi  # the run produced attribution at all
+        assert {k: v for k, v in observed.stats.counters.items()
+                if k.startswith(CPI_PREFIX)} == cpi

@@ -32,6 +32,9 @@ def good_record(kind="result", **overrides):
                                   instructions=100, cycles=50, ipc=2.0),
         "occupancy": dict(subsystem="rob", p50=10, p90=20, mean=11.5,
                           samples=42),
+        "cpi_stack": dict(workload="leela", config="abc", width=8,
+                          cycles=500, instructions=1000,
+                          slots={"base": 1000, "backend_rob": 3000}),
     }[kind]
     base.update(overrides)
     return {"schema": METRIC_SCHEMA_VERSION, "kind": kind, **base}
