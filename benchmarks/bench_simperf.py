@@ -45,41 +45,79 @@ REGRESSION_TOLERANCE = 0.30
 
 Rows = Dict[str, Dict[str, float]]
 
+#: Timed repetitions per (workload, config, obs) cell. Single-shot wall
+#: timings on a shared machine swing far more than any code change this
+#: benchmark is meant to detect; the median of three absorbs a one-off
+#: stall without the cost of a longer campaign.
+REPEATS = 3
+
 
 def _scale() -> str:
     return os.environ.get("REPRO_BENCH_SCALE", "small")
 
 
-def measure() -> Rows:
-    """Time one warmup+measure run per (workload, config) pair.
+def _repeats() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_REPEATS", REPEATS)))
 
-    Each pair is timed twice: plain, and with a no-op observability sink
-    attached. The second run turns the "obs off costs one ``is not
-    None`` check per phase" claim into a measured overhead ratio
-    (``obs_overhead``; 1.00 = free) instead of an asserted one."""
+
+def _median(values) -> float:
+    values = sorted(values)
+    mid = len(values) // 2
+    if len(values) % 2:
+        return values[mid]
+    return 0.5 * (values[mid - 1] + values[mid])
+
+
+def _timed_run(config, program, trace, total, warmup, obs: bool):
+    """One fresh core, one timed run. Returns ``(cycles, wall_seconds)``."""
+    core = OoOCore(config, program, trace, seed=SEED)
+    if obs:
+        core.attach_obs(ObsSink())
+    t0 = time.perf_counter()
+    core.run(total, warmup=warmup)
+    return core.now, time.perf_counter() - t0
+
+
+def measure() -> Rows:
+    """Time warmup+measure runs per (workload, config) pair.
+
+    Each pair is timed :data:`REPEATS` times (override with
+    ``REPRO_BENCH_REPEATS``) and the *median* wall time is reported —
+    single-shot timings proved noisy enough to swamp real changes. Plain
+    and obs-attached runs are interleaved within a cell so slow phases
+    of the host machine hit both sides alike. The obs run turns the
+    "obs off costs one ``is not None`` check per phase" claim into a
+    measured overhead ratio (``obs_overhead``; 1.00 = free) instead of
+    an asserted one."""
     warmup, window = bench_windows()
     total = warmup + window
+    repeats = _repeats()
     rows: Rows = {}
     for workload in ALL_NAMES:
         program = build_workload(workload)
         trace = workload_trace(workload, total)
         for label, config in (("base", small_core_config()),
                               ("apf", small_core_config().with_apf())):
-            core = OoOCore(config, program, trace, seed=SEED)
-            t0 = time.perf_counter()
-            core.run(total, warmup=warmup)
-            wall = time.perf_counter() - t0
-            obs_core = OoOCore(config, program, trace, seed=SEED)
-            obs_core.attach_obs(ObsSink())
-            t0 = time.perf_counter()
-            obs_core.run(total, warmup=warmup)
-            obs_wall = time.perf_counter() - t0
-            assert obs_core.now == core.now   # obs must not change timing
+            walls, obs_walls = [], []
+            cycles = None
+            for _ in range(repeats):
+                plain_cycles, wall = _timed_run(
+                    config, program, trace, total, warmup, obs=False)
+                obs_cycles, obs_wall = _timed_run(
+                    config, program, trace, total, warmup, obs=True)
+                assert obs_cycles == plain_cycles  # obs must not change timing
+                assert cycles is None or cycles == plain_cycles
+                cycles = plain_cycles
+                walls.append(wall)
+                obs_walls.append(obs_wall)
+            wall = _median(walls)
+            obs_wall = _median(obs_walls)
             rows[f"{workload}/{label}"] = {
-                "cycles": core.now,
+                "cycles": cycles,
+                "repeats": repeats,
                 "wall_s": round(wall, 4),
-                "kcycles_per_s": round(core.now / 1000.0 / wall, 3),
-                "kcycles_per_s_obs": round(core.now / 1000.0 / obs_wall, 3),
+                "kcycles_per_s": round(cycles / 1000.0 / wall, 3),
+                "kcycles_per_s_obs": round(cycles / 1000.0 / obs_wall, 3),
                 "obs_overhead": round(obs_wall / wall, 3),
             }
     return rows

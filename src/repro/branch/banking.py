@@ -81,17 +81,50 @@ class BankedTage:
         self.bank_config = config.scaled(log_delta) if num_banks > 1 else config
         self.banks = [TageSCL(self.bank_config, seed=seed + i)
                       for i in range(num_banks)]
+        self._bank_map: List[int] = []
+        self._map_base = 0
+
+    def prime_pc_map(self, code_base: int, num_uops: int) -> None:
+        """Precompute :meth:`bank_of` over a contiguous code image.
+
+        The Table I hash is a pure function of the PC, and the predict
+        loop asks for the same code-image PCs over and over; an
+        array-backed lookup replaces the XOR cascade with one index."""
+        self._map_base = code_base
+        self._bank_map = [tage_bank_bits(code_base + (i << 2), self.num_banks)
+                          for i in range(num_uops)]
 
     def bank_of(self, pc: int) -> int:
+        table = self._bank_map
+        index = (pc - self._map_base) >> 2
+        if 0 <= index < len(table):
+            return table[index]
         return tage_bank_bits(pc, self.num_banks)
 
-    def predict(self, pc: int, ghr: int, path: int = 0) -> Prediction:
-        return self.banks[self.bank_of(pc)].predict(pc, ghr, path)
+    def fold_specs(self):
+        """All banks share one scaled config, hence one fold-spec set."""
+        return self.banks[0].fold_specs()
+
+    def predict(self, pc: int, ghr: int, path: int = 0,
+                folds=None) -> Prediction:
+        table = self._bank_map
+        index = (pc - self._map_base) >> 2
+        if 0 <= index < len(table):
+            bank = table[index]
+        else:
+            bank = tage_bank_bits(pc, self.num_banks)
+        return self.banks[bank].predict(pc, ghr, path, folds)
 
     def update(self, pc: int, ghr: int, taken: bool, path: int = 0,
-               backward: bool = False) -> None:
-        self.banks[self.bank_of(pc)].update(pc, ghr, taken, path,
-                                            backward=backward)
+               backward: bool = False, folds=None) -> None:
+        table = self._bank_map
+        index = (pc - self._map_base) >> 2
+        if 0 <= index < len(table):
+            bank = table[index]
+        else:
+            bank = tage_bank_bits(pc, self.num_banks)
+        self.banks[bank].update(pc, ghr, taken, path,
+                                backward=backward, folds=folds)
 
     def storage_bits(self) -> int:
         return sum(bank.storage_bits() for bank in self.banks)

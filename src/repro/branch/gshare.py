@@ -35,16 +35,17 @@ class Gshare:
     def storage_bits(self) -> int:
         return (1 << self.config.log_size) * self.config.counter_bits
 
-    def predict(self, pc: int, ghr: int, path: int = 0) -> Prediction:
-        del path
+    def predict(self, pc: int, ghr: int, path: int = 0,
+                folds=None) -> Prediction:
+        del path, folds
         ctr = self._table[self._index(pc, ghr)]
         taken = ctr >= 0
         confidence = CONF_HIGH if ctr in (-2, 1) else CONF_LOW
         return Prediction(taken, confidence, "gshare")
 
     def update(self, pc: int, ghr: int, taken: bool, path: int = 0,
-               backward: bool = False) -> None:
-        del path, backward
+               backward: bool = False, folds=None) -> None:
+        del path, backward, folds
         idx = self._index(pc, ghr)
         ctr = self._table[idx]
         if taken and ctr < 1:

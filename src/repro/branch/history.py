@@ -3,12 +3,33 @@
 The core owns one :class:`SpeculativeHistory` per fetch path (main pipeline
 and APF pipeline). History is updated speculatively at predict time and
 restored from a checkpoint on misprediction recovery; checkpoints are plain
-integers so the in-flight branch queue can hold one per branch cheaply.
+tuples so the in-flight branch queue can hold one per branch cheaply.
+
+Folded histories
+----------------
+
+TAGE indexes its tables with XOR folds of the (masked) history registers.
+Recomputing a fold from scratch costs O(history length / fold width) per
+table per lookup; the fold of a shift register is instead maintainable in
+O(1) per push. For the chunked XOR fold (``fold_xor``: bit ``i`` of the
+register contributes to fold bit ``i mod w``), shifting the register left
+by ``k`` moves every contribution from ``i mod w`` to ``(i + k) mod w`` —
+a rotate of the fold — after which the bits shifted out past the history
+length must be XORed back out and the new in-bits XORed in:
+
+``fold' = rot_k(fold) ^ (dropped bits at their rotated positions) ^ in``
+
+This computes *bit-identical* values to ``fold_xor`` of the masked
+register, so a predictor consuming maintained folds produces exactly the
+same table indices (and hence the same simulation) as one recomputing
+them. A predictor opts in by exposing ``fold_specs()`` (lists of
+``(length, width)`` pairs for the direction and path registers); the core
+attaches them with :meth:`SpeculativeHistory.attach_folds`.
 """
 
 from __future__ import annotations
 
-from repro.common.bitops import mask
+from repro.common.bitops import fold_xor, mask
 
 __all__ = ["SpeculativeHistory"]
 
@@ -17,7 +38,9 @@ class SpeculativeHistory:
     """Global (direction) history plus a short path history."""
 
     __slots__ = ("max_length", "path_length", "ghr", "path",
-                 "_ghr_mask", "_path_mask")
+                 "_ghr_mask", "_path_mask", "folds",
+                 "_gf_vals", "_pf_vals", "_gf_const", "_pf_const",
+                 "_gf_specs", "_pf_specs")
 
     def __init__(self, max_length: int = 256, path_length: int = 16) -> None:
         self.max_length = max_length
@@ -26,25 +49,107 @@ class SpeculativeHistory:
         self.path = 0
         self._ghr_mask = mask(max_length)
         self._path_mask = mask(2 * path_length)
+        #: ``(ghr_fold_values, path_fold_values)`` once attached, else None.
+        #: The tuple holds the live lists — readers see current values.
+        self.folds = None
+        self._gf_vals: list = []
+        self._pf_vals: list = []
+        self._gf_const: list = []
+        self._pf_const: list = []
+        self._gf_specs: tuple = ()
+        self._pf_specs: tuple = ()
+
+    # -- folded histories ---------------------------------------------------
+
+    def attach_folds(self, ghr_specs, path_specs) -> None:
+        """Maintain XOR folds for the given ``(length, width)`` specs.
+
+        The direction register shifts by 1 bit per push, the path register
+        by 2 bits; the per-fold constants below bake the rotation width
+        and the positions of the dropped top bits."""
+        self._gf_specs = tuple(ghr_specs)
+        self._pf_specs = tuple(path_specs)
+        # (w-1, mask(w), drop position (L mod w), top bit (L-1))
+        self._gf_const = [(w - 1, (1 << w) - 1, length % w, length - 1)
+                          for (length, w) in self._gf_specs]
+        # (w-2, mask(w), drops ((L+1) mod w, L mod w), top bits (L-1, L-2))
+        self._pf_const = [(w - 2, (1 << w) - 1, (length + 1) % w, length % w,
+                           length - 1, length - 2)
+                          for (length, w) in self._pf_specs]
+        self._gf_vals = [fold_xor(self.ghr, length, w)
+                         for (length, w) in self._gf_specs]
+        self._pf_vals = [fold_xor(self.path, length, w)
+                         for (length, w) in self._pf_specs]
+        self.folds = (self._gf_vals, self._pf_vals)
+
+    def adopt_folds(self, other: "SpeculativeHistory") -> None:
+        """Share another history's fold specs (APF shadow construction).
+
+        Values are copied as-of ``other`` now; callers normally
+        :meth:`restore` a checkpoint right after, which overwrites them."""
+        if other.folds is None:
+            return
+        self._gf_specs = other._gf_specs
+        self._pf_specs = other._pf_specs
+        self._gf_const = other._gf_const
+        self._pf_const = other._pf_const
+        self._gf_vals = list(other._gf_vals)
+        self._pf_vals = list(other._pf_vals)
+        self.folds = (self._gf_vals, self._pf_vals)
+
+    # -- speculative update -------------------------------------------------
 
     def push(self, taken: bool, pc: int = 0) -> None:
         """Shift in one branch outcome (and low PC bits into path history)."""
-        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._ghr_mask
-        self.path = ((self.path << 2) | ((pc >> 2) & 3)) & self._path_mask
+        ghr = self.ghr
+        path = self.path
+        b = 1 if taken else 0
+        in2 = (pc >> 2) & 3
+        self.ghr = ((ghr << 1) | b) & self._ghr_mask
+        self.path = ((path << 2) | in2) & self._path_mask
+        gv = self._gf_vals
+        if gv:
+            # slice-assign keeps list identity: self.folds and checkpoints
+            # alias these exact list objects
+            gv[:] = [((((f << 1) | (f >> wm1)) & wmask)
+                      ^ (((ghr >> top_s) & 1) << drop_s) ^ b)
+                     for f, (wm1, wmask, drop_s, top_s)
+                     in zip(gv, self._gf_const)]
+            pv = self._pf_vals
+            pv[:] = [((((f << 2) | (f >> wm2)) & wmask)
+                      ^ (((path >> top1) & 1) << drop1_s)
+                      ^ (((path >> top2) & 1) << drop2_s) ^ in2)
+                     for f, (wm2, wmask, drop1_s, drop2_s, top1, top2)
+                     in zip(pv, self._pf_const)]
+
+    # -- checkpointing ------------------------------------------------------
 
     def checkpoint(self) -> tuple:
-        return (self.ghr, self.path)
+        if self.folds is None:
+            return (self.ghr, self.path)
+        return (self.ghr, self.path,
+                tuple(self._gf_vals), tuple(self._pf_vals))
 
     def restore(self, snapshot: tuple) -> None:
-        self.ghr, self.path = snapshot
+        self.ghr = snapshot[0]
+        self.path = snapshot[1]
+        if len(snapshot) > 2 and self.folds is not None:
+            # slice-assign: self.folds holds these exact list objects
+            self._gf_vals[:] = snapshot[2]
+            self._pf_vals[:] = snapshot[3]
 
     def copy_from(self, other: "SpeculativeHistory") -> None:
         """Clone another path's history (APF pipeline initialisation)."""
         self.ghr = other.ghr
         self.path = other.path
+        if self.folds is not None and other.folds is not None:
+            self._gf_vals[:] = other._gf_vals
+            self._pf_vals[:] = other._pf_vals
 
     def snapshot_with(self, taken: bool, pc: int = 0) -> tuple:
         """Checkpoint as if ``taken`` had been pushed (without mutating)."""
-        ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._ghr_mask
-        path = ((self.path << 2) | ((pc >> 2) & 3)) & self._path_mask
-        return (ghr, path)
+        saved = self.checkpoint()
+        self.push(taken, pc)
+        result = self.checkpoint()
+        self.restore(saved)
+        return result

@@ -93,7 +93,9 @@ class HashedPerceptron:
         cfg = self.config
         return cfg.num_tables * (1 << cfg.table_log_size) * cfg.weight_bits
 
-    def predict(self, pc: int, ghr: int, path: int = 0) -> Prediction:
+    def predict(self, pc: int, ghr: int, path: int = 0,
+                folds=None) -> Prediction:
+        del folds
         total = self._sum(pc, ghr, path)
         taken = total >= 0
         magnitude = abs(total)
@@ -106,8 +108,8 @@ class HashedPerceptron:
         return Prediction(taken, confidence, "perceptron")
 
     def update(self, pc: int, ghr: int, taken: bool, path: int = 0,
-               backward: bool = False) -> None:
-        del backward
+               backward: bool = False, folds=None) -> None:
+        del backward, folds
         total = self._sum(pc, ghr, path)
         predicted = total >= 0
         mispredicted = predicted != taken

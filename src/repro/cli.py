@@ -48,6 +48,8 @@ from repro.analysis.metrics import geomean_speedup, speedups
 from repro.analysis.plots import stacked_bar_chart
 from repro.analysis.report import render_table, summarize_histogram
 from repro.obs.accounting import (
+    CPI_SCHEMA_VERSION,
+    CpiStackError,
     apf_coverage,
     load_stacks,
     render_coverage,
@@ -459,8 +461,14 @@ def _coverage_lines(stack, result, config: CoreConfig) -> List[str]:
 def _cmd_cpistack(args) -> int:
     if args.diff:
         path_a, path_b = args.diff
-        stacks_a = load_stacks(path_a)
-        stacks_b = load_stacks(path_b)
+        try:
+            stacks_a = load_stacks(path_a)
+            stacks_b = load_stacks(path_b)
+        except CpiStackError as exc:
+            # old artifacts (pre-CPI-stack schema) and malformed files are
+            # user input here, not internal errors: fail with the message,
+            # not a traceback
+            raise SystemExit(f"cpistack --diff: {exc}") from exc
         threshold = args.threshold / 100.0
         if len(stacks_a) == 1 and len(stacks_b) == 1:
             pairs = [(next(iter(stacks_a.values())),
@@ -486,15 +494,15 @@ def _cmd_cpistack(args) -> int:
     stream = current_metric_stream()
     if stream is not None:
         stream.emit("cpi_stack", **record)
+    dump = {"cpi_schema": CPI_SCHEMA_VERSION, "stacks": [record]}
     if args.out:
         out = Path(args.out)
         if out.parent != Path("."):
             out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(json.dumps({"stacks": [record]}, indent=2,
-                                  sort_keys=True) + "\n")
+        out.write_text(json.dumps(dump, indent=2, sort_keys=True) + "\n")
         print(f"stack dump written to {out}", file=sys.stderr)
     if args.as_json:
-        print(json.dumps({"stacks": [record]}, indent=2, sort_keys=True))
+        print(json.dumps(dump, indent=2, sort_keys=True))
         return 0
     print(_stack_chart([stack]))
     print()

@@ -60,8 +60,8 @@ class AlternatePathBuffer:
     """Saved state of one fully (or partially) fetched alternate path."""
 
     __slots__ = ("branch", "uops", "end_pc", "end_ghr", "end_path",
-                 "shadow_ras_state", "main_ras_snapshot", "fetch_cycles",
-                 "dead_end")
+                 "end_hist", "shadow_ras_state", "main_ras_snapshot",
+                 "fetch_cycles", "dead_end")
 
     def __init__(self, job: APFJob) -> None:
         self.branch = job.branch
@@ -69,6 +69,10 @@ class AlternatePathBuffer:
         self.end_pc = job.pc
         self.end_ghr = job.history.ghr
         self.end_path = job.history.path
+        # full checkpoint (registers + maintained folds): the core restores
+        # the main history from this, not from the raw registers, so the
+        # fold state fast-forwards along with ghr/path
+        self.end_hist = job.history.checkpoint()
         self.shadow_ras_state = job.shadow_ras.state()
         self.main_ras_snapshot = job.shadow_ras.main_snapshot
         self.fetch_cycles = job.fetch_cycles
@@ -94,6 +98,13 @@ class APFEngine:
         self._fe_width = frontend_config.width
         self._pipeline_depth = config.pipeline_depth
         self._buffer_cap = config.buffer_capacity_uops
+        # block-grain shadow fetch: straight-line run lengths over the
+        # static image let _fetch_cycle append whole half-line chunks of
+        # non-branch uops without per-uop PC decode
+        self._prog_uops = program.uops()
+        self._prog_runs = program.nonbranch_runs()
+        self._code_base = program.code_base
+        self._n_uops = len(program)
         self._shadow_queue_entries = config.shadow_branch_queue_entries
         self.collect = True            # core toggles this across warmup
         self.obs = None                # observability sink (core attaches)
@@ -215,6 +226,7 @@ class APFEngine:
         start_pc = su.target if alt_taken else su.fallthrough
         history = SpeculativeHistory(main_history.max_length,
                                      main_history.path_length)
+        history.adopt_folds(main_history)
         # the shadow history is the history *at the branch* plus the
         # inverted prediction (Section V-E)
         history.restore(rec.hist_checkpoint)
@@ -330,39 +342,59 @@ class APFEngine:
     def _fetch_cycle(self, job: APFJob, now: int,
                      blocked_tage_banks: set,
                      blocked_icache_banks: set) -> None:
+        """One shadow-fetch cycle, block-grain: non-branch uops are
+        appended a straight-line chunk at a time (bounded by the fetch
+        width, the buffer cap, and the 32B half-line the bank/probe
+        checks are keyed on), with the per-uop path kept for branches.
+        The uop-by-uop reference behaviour is preserved exactly — every
+        chunk stays inside one half-line, so the bank-conflict and
+        I-cache probe sequence is identical."""
         fetched = 0
         self._bank_checked = False   # one predictor access per cycle
         current_half_line = -1       # 32B chunks are separate bank accesses
-        uop_at = self.program.uop_at
         job_uops = job.uops
         buffer_cap = self._buffer_cap
-        for _slot in range(self._fe_width):
-            su = uop_at(job.pc)
-            if su is None or su.op is Op.HALT:
+        width = self._fe_width
+        uops = self._prog_uops
+        runs = self._prog_runs
+        code_base = self._code_base
+        n_uops = self._n_uops
+        collect = self.collect
+        while fetched < width:
+            pc = job.pc
+            offset = pc - code_base
+            index = offset >> 2
+            if offset < 0 or offset & 3 or index >= n_uops:
                 job.dead = True
                 break
-            half_line = job.pc >> 5
+            su = uops[index]
+            if su.op is Op.HALT:
+                job.dead = True
+                break
+            half_line = pc >> 5
             if half_line != current_half_line:
-                bank = icache_bank_bits(job.pc)
+                bank = icache_bank_bits(pc)
                 if bank in blocked_icache_banks:
-                    if not fetched and self.collect:
+                    if not fetched and collect:
                         self._c_bank_conflicts.value += 1
                     break   # this chunk retries next cycle
                 # APF terminates on an I-cache miss; by default the miss is
                 # not sent to memory (Section III-A). The optional extension
                 # issues it as a prefetch (wrong-path instruction
                 # prefetching layered on APF).
-                if not self.hierarchy.icache.probe(job.pc):
+                if not self.hierarchy.icache.probe(pc):
                     job.terminated = True
-                    if self.collect:
+                    if collect:
                         self._c_icache_terms.value += 1
                     if self.config.prefetch_alternate_icache:
-                        self.hierarchy.ifetch(job.pc, now)
-                        if self.collect:
+                        self.hierarchy.ifetch(pc, now)
+                        if collect:
                             self._c_icache_prefetches.value += 1
                     break
                 current_half_line = half_line
-            if su.is_branch:
+            run = runs[index]
+            if run == 0:
+                # a branch (HALT was handled above)
                 advanced = self._shadow_branch(job, su, blocked_tage_banks,
                                                stalled=not fetched)
                 if not advanced:
@@ -372,15 +404,27 @@ class APFEngine:
                 fetched += 1
                 if self._shadow_taken:
                     break
-            else:
-                job_uops.append(BufferedUop(su))
-                job.pc = su.fallthrough
-                fetched += 1
+                if len(job_uops) >= buffer_cap:
+                    break
+                continue
+            n = width - fetched
+            if run < n:
+                n = run
+            room = buffer_cap - len(job_uops)
+            if room < n:
+                n = room
+            chunk = 8 - ((pc >> 2) & 7)   # uops left in this 32B half-line
+            if chunk < n:
+                n = chunk
+            for k in range(index, index + n):
+                job_uops.append(BufferedUop(uops[k]))
+            fetched += n
+            job.pc = pc + (n << 2)
             if len(job_uops) >= buffer_cap:
                 break
         if fetched:
             job.fetch_cycles += 1
-            if self.collect:
+            if collect:
                 self._c_fetched_uops.value += fetched
 
     def _shadow_branch(self, job: APFJob, su,
@@ -398,7 +442,8 @@ class APFEngine:
                     return False
                 self._bank_checked = True
             pred = self.bu.predictor.predict(
-                su.pc, job.history.ghr, job.history.path)
+                su.pc, job.history.ghr, job.history.path,
+                job.history.folds)
             h2p = False
             low = False
             if job.shadow_branches < self._shadow_queue_entries:

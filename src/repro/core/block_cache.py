@@ -1,0 +1,174 @@
+"""Block-grain decode and dependence templates for the frontend fast path.
+
+The frontend hot loop is uop-shaped: every cycle it re-derives, one uop at
+a time, facts that are pure functions of the static code image — is this a
+branch, which FU class does it need, what fixed latency does it pay, which
+architectural registers does it read and write, and (crucially) whether a
+source is produced *inside the same fetch block*. Treating the frontend as
+block-shaped instead (the same structural observation Alternate Path Fetch
+and the program-map fetch literature make about real frontends) lets the
+simulator precompute all of it once per static block and replay it.
+
+Two kinds of precomputation live here (the static-image variant,
+``Program.nonbranch_runs``, lives with the program image itself):
+
+* :func:`trace_nonbranch_runs` — for the dynamic trace, the length of
+  the straight-line (branch-free) run starting at each index. The fetch
+  engine consults it to decide, in O(1), whether a whole fetch-width
+  bundle can be built without touching the branch unit; the APF shadow
+  fetch uses ``Program.nonbranch_runs`` to batch its buffered-uop
+  appends between half-line boundaries.
+
+* :class:`BlockTemplate` via :class:`BlockCache` — per-block decoded
+  arrays (FU class, fixed latency, load/store kind, dest register) plus a
+  dependence template mapping each source either to the in-block producer
+  position or to the architectural register to look up in the RAT. The
+  core's batch allocator walks these flat arrays instead of re-deriving
+  the same facts per DynUop.
+
+The memoization key is the block start PC alone. That is deliberate: the
+fast path only ever covers blocks with **no predictor interaction at all**
+(no branches, hence no TAGE/BTB/RAS state involved), so the
+"predictor-state-class" component of the ``(block, predictor-state-class)``
+key collapses to the single class "none". Any block that would consult the
+predictor — or hit an I-cache stall, an APF capture/restore boundary, or a
+snapshot/quiesce point — falls back to the per-uop reference path, which
+is what keeps the fast path bit-identical to the reference driver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.opcodes import NUM_ARCH_REGS, UOP_BYTES, Op
+from repro.isa.uop import StaticUop
+from repro.workloads.program import Program
+from repro.workloads.trace import DynamicTrace
+
+__all__ = ["BlockCache", "BlockTemplate", "trace_nonbranch_runs"]
+
+
+def trace_nonbranch_runs(trace: DynamicTrace) -> List[int]:
+    """``run[i]`` = number of consecutive non-branch trace entries
+    starting at index ``i`` (``run[len(trace)] == 0`` sentinel included).
+    On-trace fetch never sees HALT (the emulator stops before retiring
+    it), so only branches end a run."""
+    uops = trace.uops
+    n = len(uops)
+    run = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        if not uops[i].is_branch:
+            run[i] = run[i + 1] + 1
+    return run
+
+
+class BlockTemplate:
+    """Precomputed decode + dependence arrays for one branch-free block.
+
+    All arrays are indexed by position within the block (0..n-1) and are
+    immutable after construction; the batch allocator reads them with no
+    per-uop attribute traffic. ``kind`` is 0 for fixed-latency ops, 1 for
+    loads, 2 for stores. ``srcN_local`` is the in-block producer position
+    when the source's latest writer precedes it inside the block, else -1
+    (the allocator then reads the RAT via ``srcN_arch``).
+    """
+
+    __slots__ = ("start_pc", "n", "kind", "fu", "lat", "dest",
+                 "src1_arch", "src1_local", "src2_arch", "src2_local",
+                 "loads_prefix", "stores_prefix")
+
+    def __init__(self, start_pc: int, block: Sequence[StaticUop],
+                 exec_model) -> None:
+        n = len(block)
+        self.start_pc = start_pc
+        self.n = n
+        kind = [0] * n
+        fu = [""] * n
+        lat = [0] * n
+        dest = [0] * n
+        s1a = [0] * n
+        s1l = [0] * n
+        s2a = [0] * n
+        s2l = [0] * n
+        loads_prefix = [0] * (n + 1)
+        stores_prefix = [0] * (n + 1)
+        last_writer = [-1] * NUM_ARCH_REGS
+        fu_class = exec_model.fu_class
+        for i, su in enumerate(block):
+            op = su.op
+            f = fu_class(op)
+            fu[i] = f
+            if op is Op.LOAD:
+                kind[i] = 1
+            elif op is Op.STORE:
+                kind[i] = 2
+            else:
+                # fixed latency: a pure function of the FU class
+                lat[i] = exec_model.latency(f)
+            loads_prefix[i + 1] = loads_prefix[i] + (kind[i] == 1)
+            stores_prefix[i + 1] = stores_prefix[i] + (kind[i] == 2)
+            s = su.src1
+            s1a[i] = s
+            s1l[i] = last_writer[s] if s >= 0 else -1
+            s = su.src2
+            s2a[i] = s
+            s2l[i] = last_writer[s] if s >= 0 else -1
+            d = su.dest
+            dest[i] = d
+            if d >= 0:
+                last_writer[d] = i
+        self.kind = kind
+        self.fu = fu
+        self.lat = lat
+        self.dest = dest
+        self.src1_arch = s1a
+        self.src1_local = s1l
+        self.src2_arch = s2a
+        self.src2_local = s2l
+        self.loads_prefix = loads_prefix
+        self.stores_prefix = stores_prefix
+
+
+class BlockCache:
+    """Memoized :class:`BlockTemplate` store for one (program, core) pair.
+
+    Templates depend on the static image and on the execution model's FU
+    latencies (both immutable for a core's lifetime), so the cache never
+    invalidates. Lookups happen once per fast-path bundle; the population
+    cost is paid once per distinct hot block.
+    """
+
+    def __init__(self, program: Program, exec_model, width: int) -> None:
+        self.program = program
+        self._exec = exec_model
+        self.width = width
+        self._uops = list(program.uops())
+        self._runs = program.nonbranch_runs()
+        self._code_base = program.code_base
+        self._templates: Dict[int, Optional[BlockTemplate]] = {}
+
+    def template(self, start_pc: int) -> Optional[BlockTemplate]:
+        """Template for the branch-free block starting at ``start_pc``,
+        built on first use and covering ``min(run length, width)`` uops.
+        A bundle whose straight-line prefix is shorter than the fetch
+        width still batch-allocates that prefix; its trailing branch (and
+        anything after it) goes through the per-uop reference path. None
+        when ``start_pc``'s uop is itself a branch/HALT (no prefix)."""
+        try:
+            return self._templates[start_pc]
+        except KeyError:
+            pass
+        index = (start_pc - self._code_base) // UOP_BYTES
+        n = self._runs[index]
+        if n > self.width:
+            n = self.width
+        if n <= 0:
+            t = None
+        else:
+            block = self._uops[index:index + n]
+            t = BlockTemplate(start_pc, block, self._exec)
+        self._templates[start_pc] = t
+        return t
+
+    def __len__(self) -> int:
+        return len(self._templates)

@@ -22,10 +22,11 @@ from repro.branch.history import SpeculativeHistory
 from repro.branch.ras import ReturnAddressStack
 from repro.common.config import CoreConfig
 from repro.common.statistics import StatGroup
-from repro.isa.opcodes import BranchKind, Op
+from repro.isa.opcodes import UOP_BYTES, BranchKind, Op
 from repro.workloads.program import Program
 from repro.workloads.trace import DynamicTrace
 
+from repro.core.block_cache import trace_nonbranch_runs
 from repro.core.uops import DynUop, InflightBranch
 
 __all__ = ["Bundle", "BranchUnit", "MainFetchEngine", "STALL_BTB",
@@ -53,11 +54,11 @@ class Bundle:
     """One fetch packet: up to ``width`` uops fetched in a single cycle."""
 
     __slots__ = ("uops", "fetch_cycle", "ready_cycle", "start_pc",
-                 "icache_extra")
+                 "icache_extra", "batchable")
 
     def __init__(self, uops: List[DynUop], fetch_cycle: int,
                  ready_cycle: int, start_pc: int,
-                 icache_extra: int = 0) -> None:
+                 icache_extra: int = 0, batchable: bool = False) -> None:
         self.uops = uops
         self.fetch_cycle = fetch_cycle
         self.ready_cycle = ready_cycle
@@ -65,6 +66,10 @@ class Bundle:
         # icache-miss cycles folded into ready_cycle; the CPI accounting
         # splits the in-flight wait into pipe traversal vs icache tail
         self.icache_extra = icache_extra
+        # True when the bundle was built by the block-grain fast path with
+        # no icache event: the allocator may then batch its straight-line
+        # runs from the block cache. False forces the per-uop path.
+        self.batchable = batchable
 
     @property
     def first_seq(self) -> int:
@@ -84,9 +89,11 @@ class BranchUnit:
         self.btb = btb
         self.indirect = indirect
         self.h2p_table = h2p_table
+        # resolved once: bank_of sits on the fetch and APF hot paths
+        self._bank_fn = getattr(predictor, "bank_of", None)
 
     def bank_of(self, pc: int) -> int:
-        bank_fn = getattr(self.predictor, "bank_of", None)
+        bank_fn = self._bank_fn
         return bank_fn(pc) if bank_fn else 0
 
     @property
@@ -133,6 +140,21 @@ class MainFetchEngine:
         self._depth = self.fe.depth
         self._uop_bytes = self.fe.uop_bytes
         self._icache_hit_latency = hierarchy.icache.config.hit_latency
+        # block-grain fast path: precomputed straight-line run lengths
+        # over the trace (on-trace fetch) and the static image (wrong-path
+        # fetch). A full-width branch-free run builds the bundle in one
+        # tight loop with no per-uop control-flow checks; anything shorter
+        # falls back to the per-uop reference path.
+        self.use_block_fast_path = True
+        self._trace_run = trace_nonbranch_runs(trace)
+        self._static_run = program.nonbranch_runs()
+        self._prog_uops = program.uops()
+        self._code_base = program.code_base
+        self._n_static = len(program)
+        #: whether the per-cycle bank sets are maintained: only the APF
+        #: BANKED scheme reads them, every other configuration skips the
+        #: set bookkeeping entirely (the core flips this at construction)
+        self.publish_banks = True
         self.collect = True            # core toggles this across warmup
         self.obs = None                # observability sink (core attaches)
         self._c_fetch_cycles = stats.counter("fetch_cycles")
@@ -219,9 +241,20 @@ class MainFetchEngine:
         return self.stall_until if self.stall_until > now else now + 1
 
     def step(self, now: int) -> Optional[Bundle]:
-        """Fetch one bundle; publishes bank usage for this cycle."""
-        self.cycle_tage_banks.clear()
-        self.cycle_icache_banks.clear()
+        """Fetch one bundle; publishes bank usage for this cycle.
+
+        Every straight-line (branch-free) run inside the fetch group —
+        known in O(1) from the precomputed run arrays — is built in a
+        tight loop with no per-uop predict/branch checks: the leading
+        run, and equally the runs that follow each not-taken branch.
+        Branches themselves (and trace end, HALT, image edges) take the
+        per-uop reference path; the produced bundles are identical
+        either way. A batchable bundle is flagged so the allocator can
+        replay its runs from the block cache.
+        """
+        if self.publish_banks:
+            self.cycle_tage_banks.clear()
+            self.cycle_icache_banks.clear()
         self.new_branches.clear()
         if self.dead or now < self.stall_until:
             return None
@@ -231,14 +264,58 @@ class MainFetchEngine:
             start_pc = self._trace_uops[self.cursor].pc
         else:
             return None
+        width = self._width
         uops: List[DynUop] = []
         append = uops.append
+        remaining = width
+        use_fp = self.use_block_fast_path
         fetch_one = self._fetch_one
-        for _slot in range(self._width):
+        while remaining:
+            if use_fp:
+                if self.wrong_path:
+                    offset = self.pc - self._code_base
+                    if offset >= 0 and not offset % UOP_BYTES:
+                        index = offset // UOP_BYTES
+                        run = (self._static_run[index]
+                               if index < self._n_static else 0)
+                        if run:
+                            if run > remaining:
+                                run = remaining
+                            sus = self._prog_uops
+                            program = self.program
+                            seq = self.seq
+                            for i in range(index, index + run):
+                                su = sus[i]
+                                mem = (synthetic_address(program, su.pc,
+                                                         seq)
+                                       if su.is_mem else 0)
+                                append(DynUop(seq, su, -1, True, mem))
+                                seq += 1
+                            self.seq = seq
+                            self.pc += run * UOP_BYTES
+                            remaining -= run
+                            continue
+                elif self.cursor < self._trace_len:
+                    cursor = self.cursor
+                    run = self._trace_run[cursor]
+                    if run:
+                        if run > remaining:
+                            run = remaining
+                        tu = self._trace_uops
+                        tm = self._trace_mem_addr
+                        seq = self.seq
+                        for i in range(cursor, cursor + run):
+                            append(DynUop(seq, tu[i], i, False, tm[i]))
+                            seq += 1
+                        self.seq = seq
+                        self.cursor = cursor + run
+                        remaining -= run
+                        continue
             du = fetch_one(now)
             if du is None:
                 break
             append(du)
+            remaining -= 1
             if du.static.is_branch and self._bundle_ended:
                 break
         if not uops:
@@ -247,8 +324,9 @@ class MainFetchEngine:
             self._c_fetch_cycles.value += 1
             self._c_fetched_uops.value += len(uops)
         ready = now + self._depth
-        self.cycle_icache_banks.update(
-            fetch_banks_touched(start_pc, len(uops) * self._uop_bytes))
+        if self.publish_banks:
+            self.cycle_icache_banks.update(
+                fetch_banks_touched(start_pc, len(uops) * self._uop_bytes))
         latency = self.hierarchy.ifetch(start_pc, now)
         extra = latency - self._icache_hit_latency
         if extra > 0:
@@ -260,8 +338,10 @@ class MainFetchEngine:
             if now + 1 + extra > self.stall_until:
                 self.stall_until = now + 1 + extra
                 self.stall_cause = STALL_ICACHE
+            # an icache event is a fast-path fallback trigger: the bundle
+            # contents stand, but it must not batch-allocate
             return Bundle(uops, now, ready, start_pc, extra)
-        return Bundle(uops, now, ready, start_pc)
+        return Bundle(uops, now, ready, start_pc, batchable=use_fp)
 
     def _fetch_one(self, now: int) -> Optional[DynUop]:
         self._bundle_ended = False
@@ -338,10 +418,11 @@ class MainFetchEngine:
 
         if kind is BranchKind.CONDITIONAL:
             pred = self.bu.predictor.predict(
-                su.pc, self.history.ghr, self.history.path)
+                su.pc, self.history.ghr, self.history.path,
+                self.history.folds)
             # one predictor access per path per cycle: the bank occupied by
             # this cycle's prediction is that of the first branch looked up
-            if not self.cycle_tage_banks:
+            if self.publish_banks and not self.cycle_tage_banks:
                 self.cycle_tage_banks.add(self.bu.bank_of(su.pc))
             rec.predicted_taken = pred.taken
             rec.low_conf = pred.low_confidence

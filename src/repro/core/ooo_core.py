@@ -18,6 +18,7 @@ instead; both modes are bit-identical in timing and statistics (see
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
@@ -38,6 +39,7 @@ from repro.workloads.program import Program
 from repro.workloads.trace import DynamicTrace
 
 from repro.core.apf import AlternatePathBuffer, APFEngine
+from repro.core.block_cache import BlockCache
 from repro.core.fetch_engine import (
     STALL_BTB,
     STALL_ICACHE,
@@ -92,6 +94,7 @@ class OoOCore:
                 f"unknown predictor kind {config.predictor_kind!r}")
         elif banks > 1:
             predictor = BankedTage(config.tage, banks, seed=seed)
+            predictor.prime_pc_map(program.code_base, len(program))
         else:
             predictor = TageSCL(config.tage, seed=seed)
         self.h2p_table = H2PTable(apf_cfg.h2p)
@@ -105,6 +108,11 @@ class OoOCore:
         # pipeline
         self.fetch = MainFetchEngine(program, trace, self.branch_unit,
                                      self.hierarchy, config, self.stats)
+        fold_specs = getattr(predictor, "fold_specs", None)
+        if fold_specs is not None:
+            # the main history maintains the predictor's folded histories
+            # incrementally (bit-identical to recomputation; history.py)
+            self.fetch.history.attach_folds(*fold_specs())
         self.rename = RenameTable()
         self.exec = ExecModel(config.backend)
         self.rob: Deque[DynUop] = deque()
@@ -137,6 +145,19 @@ class OoOCore:
         self._ts_main = apf_cfg.timeshare_main_cycles
         self._ts_period = (apf_cfg.timeshare_main_cycles
                            + apf_cfg.timeshare_alt_cycles)
+
+        # block-grain frontend fast path: precomputed decode/dependence
+        # templates keyed by block start PC (see repro.core.block_cache).
+        # Only the BANKED scheme ever reads the per-cycle bank sets, so
+        # every other configuration skips that bookkeeping.
+        self.block_cache = BlockCache(program, self.exec,
+                                      config.frontend.width)
+        self.fetch.publish_banks = self._scheme is FetchScheme.BANKED
+        self._done_scratch = [0] * config.frontend.width
+        #: env-gated debug mode: re-derive every skipped window's no-op
+        #: conditions from first principles (next_wakeup contract checks)
+        self._debug_skips = os.environ.get(
+            "REPRO_DEBUG_SKIPS", "") not in ("", "0")
 
         # hot-path counter cells (see repro.common.statistics.StatCell)
         stats = self.stats
@@ -340,20 +361,83 @@ class OoOCore:
                 # reference loop would spin idle to the cycle cap
                 nxt = max_cycles
             skipped = nxt - self.now - 1
-            if skipped > 0 and self._collect:
-                cell = self._stall_cell
-                if cell is not None:
-                    cell.value += skipped
-                if len(ftq) >= ftq_entries:
-                    stall_ftq.value += skipped
-                # every skipped cycle would have attributed a full width
-                # of idle slots; the classification inputs are constant
-                # inside the window (same argument as _stall_cell)
-                self._account_idle(now + 1, nxt - 1, self._allocate_width)
+            if skipped > 0:
+                if self._debug_skips:
+                    self._verify_skip_window(now + 1, nxt - 1)
+                if self._collect:
+                    cell = self._stall_cell
+                    if cell is not None:
+                        cell.value += skipped
+                    if len(ftq) >= ftq_entries:
+                        stall_ftq.value += skipped
+                    # every skipped cycle would have attributed a full
+                    # width of idle slots; the classification inputs are
+                    # constant inside the window (same argument as
+                    # _stall_cell)
+                    self._account_idle(now + 1, nxt - 1,
+                                       self._allocate_width)
             self.now = nxt
             if nxt >= next_trim:
                 self.exec.trim(nxt - trim_horizon)
                 next_trim = (nxt | trim_mask) + 1
+
+    def _verify_skip_window(self, start: int, end: int) -> None:
+        """Debug assertion mode (``REPRO_DEBUG_SKIPS=1``): prove the
+        skipped window ``[start, end]`` is a no-op by re-deriving every
+        ``next_wakeup`` contract from the post-cycle state — the facts
+        the per-cycle reference loop would have observed on each of those
+        cycles. Any violation means a stage under-reported its wakeup
+        (a stale-wakeup bug) and raises an AssertionError naming it.
+        """
+        events = self.events
+        assert not events or events[0][0] > end, (
+            f"skip [{start},{end}]: branch resolution due at "
+            f"{events[0][0]}")
+        rob = self.rob
+        assert not rob or rob[0].done_cycle > end, (
+            f"skip [{start},{end}]: ROB head completes at "
+            f"{rob[0].done_cycle}")
+        blocked = self._stall_cell is not None
+        rq = self.restore_queue
+        rq_pending = bool(rq) and rq[0][0] <= end
+        if rq_pending:
+            # an already-ready head must have its stall batched; a head
+            # that becomes ready *inside* the window means the window
+            # should have ended there
+            assert rq[0][0] < start, (
+                f"skip [{start},{end}]: restore-queue head becomes "
+                f"ready mid-window at {rq[0][0]}")
+            assert blocked, (
+                f"skip [{start},{end}]: restore-queue head ready at "
+                f"{rq[0][0]} but no stall batched")
+        ftq = self.ftq
+        if ftq:
+            head = ftq[0]
+            bundle = head[0]
+            assert head[1] < len(bundle.uops), (
+                f"skip [{start},{end}]: exhausted head bundle left in "
+                f"the FTQ")
+            ready = bundle.ready_cycle
+            if ready <= end and not rq_pending:
+                assert ready < start, (
+                    f"skip [{start},{end}]: FTQ head becomes ready "
+                    f"mid-window at {ready}")
+                assert blocked, (
+                    f"skip [{start},{end}]: FTQ head ready at "
+                    f"{ready} but no stall batched")
+        if blocked and len(self.sched_heap) >= self._sched_entries:
+            t = self.sched_heap[0]
+            assert t > end, (
+                f"skip [{start},{end}]: scheduler slot frees at {t}")
+        if len(ftq) < self._ftq_entries:
+            t = self.fetch.next_wakeup(start - 1)
+            assert t is None or t > end, (
+                f"skip [{start},{end}]: fetch can produce a bundle at "
+                f"{t}")
+        if self.apf is not None:
+            t = self.apf.next_wakeup(start - 1, self.inflight)
+            assert t is None or t > end, (
+                f"skip [{start},{end}]: APF can do real work at {t}")
 
     def _next_cycle(self) -> Optional[int]:
         """Earliest cycle after ``now`` at which any stage can progress,
@@ -904,8 +988,8 @@ class OoOCore:
             obs.on_restore(self.now, rec, restored_dus)
 
         # frontend state fast-forwards to the end of the alternate path
-        fetch.history.ghr = buffer.end_ghr
-        fetch.history.path = buffer.end_path
+        # (checkpoint restore, so maintained folds move with the registers)
+        fetch.history.restore(buffer.end_hist)
         base = _materialize_ras(buffer.main_ras_snapshot,
                                 buffer.shadow_ras_state)
         fetch.ras.restore(base)
@@ -1022,6 +1106,24 @@ class OoOCore:
             if bundle.ready_cycle > now:
                 break
             du = uops[index]
+            if bundle.batchable and not du.static.is_branch:
+                # block-grain batch: a straight-line run starts here (any
+                # suffix of a run is a run, so a bundle resumed mid-block
+                # after a budget split re-enters through its own suffix
+                # template). Allocates the run in one call iff the
+                # backend provably has room for all of it; returns 0
+                # otherwise and the per-uop path below handles partial
+                # allocation and the stall counters exactly as the
+                # reference does.
+                template = self.block_cache.template(du.static.pc)
+                if template is not None:
+                    n = self._allocate_block(head, bundle, template, index,
+                                             budget, now)
+                    if n:
+                        budget -= n
+                        if head[1] >= len(uops):
+                            ftq.popleft()
+                        continue
             if len(rob) >= rob_entries:
                 if collect:
                     self._c_stall_rob.value += 1
@@ -1044,6 +1146,125 @@ class OoOCore:
                 ftq.popleft()
             allocate_uop(du)
             budget -= 1
+
+    def _allocate_block(self, head, bundle, template, index: int,
+                        budget: int, now: int) -> int:
+        """Batch-allocate the remainder of a branch-free fast-path bundle.
+
+        Pre-checks that every structural limit holds for the whole batch
+        (the checks are monotone within one allocation cycle: the ROB,
+        scheduler, LQ and SQ only grow between retires, so room for N
+        implies every per-uop check would have passed). On any shortfall
+        it allocates nothing and returns 0 — the caller's per-uop path
+        then reproduces the partial allocation and the exact stall
+        counter of the reference loop. The loop body is the inlined
+        :meth:`_allocate_uop` minus everything a branch-free on-template
+        uop cannot need: no branch record, no RAT checkpoint, no event
+        push, no per-uop FU-class/latency lookups (they come from the
+        :class:`~repro.core.block_cache.BlockTemplate`).
+        """
+        uops = bundle.uops
+        n = len(uops) - index         # the template starts at uops[index];
+        tn = template.n               # branches (and younger uops) take
+        if n > tn:                    # the per-uop path
+            n = tn
+        if n > budget:
+            n = budget
+        rob = self.rob
+        if len(rob) + n > self._rob_entries:
+            return 0
+        sched = self.sched_heap
+        if len(sched) + n > self._sched_entries:
+            return 0
+        lp = template.loads_prefix
+        nloads = lp[n]
+        if nloads and self.load_count + nloads > self._lq_entries:
+            return 0
+        sp = template.stores_prefix
+        nstores = sp[n]
+        if nstores and self.store_count + nstores > self._sq_entries:
+            return 0
+        if self._refill_cell is not None:
+            self._refill_cell = None
+        if self._collect:
+            if uops[index].wrong_path:
+                self._c_cpi_wrong_path.value += n
+            else:
+                self._c_cpi_base.value += n
+        rename = self.rename
+        rat = rename._rat
+        ready_map = rename._ready
+        ready_get = ready_map.get
+        next_tag = rename._next_tag
+        schedule = self.exec.schedule
+        dload = self.hierarchy.dload
+        dstore = self.hierarchy.dstore
+        dtlb_access = self.dtlb.access
+        agen = self._agen_latency
+        heappush = heapq.heappush
+        rob_append = rob.append
+        obs = self._obs
+        kinds = template.kind
+        fus = template.fu
+        lats = template.lat
+        dests = template.dest
+        s1a = template.src1_arch
+        s1l = template.src1_local
+        s2a = template.src2_arch
+        s2l = template.src2_local
+        # completion cycles of the uops allocated *in this call*, indexed
+        # by template position: every in-block dependence link points at
+        # a position in this same call (the template starts at this very
+        # uop), so producers from an earlier call (a bundle split across
+        # allocation cycles) always appear as arch sources and go through
+        # the RAT like the reference
+        done_local = self._done_scratch
+        base_ready = now + 1
+        for i in range(n):
+            du = uops[index + i]
+            ready = base_ready
+            a = s1a[i]
+            if a >= 0:
+                p = s1l[i]
+                r = done_local[p] if p >= 0 else ready_get(rat[a], 0)
+                if r > ready:
+                    ready = r
+            a = s2a[i]
+            if a >= 0:
+                p = s2l[i]
+                r = done_local[p] if p >= 0 else ready_get(rat[a], 0)
+                if r > ready:
+                    ready = r
+            issue = schedule(fus[i], ready)
+            kind = kinds[i]
+            if kind == 0:
+                done = issue + lats[i]
+            elif kind == 1:
+                agen_done = issue + agen
+                addr = du.mem_addr
+                done = agen_done + dload(addr, agen_done) \
+                    + dtlb_access(addr)
+                self.load_count += 1
+            else:
+                done = issue + agen
+                dstore(du.mem_addr, done)
+                self.store_count += 1
+            d = dests[i]
+            if d >= 0:
+                rat[d] = next_tag
+                ready_map[next_tag] = done
+                next_tag += 1
+            du.done_cycle = done
+            done_local[i] = done
+            rob_append(du)
+            heappush(sched, issue)
+            if obs is not None:
+                # identical event stream to per-uop emission, including
+                # the intermediate occupancy arguments
+                obs.on_allocate(now, du, len(rob), len(sched))
+        rename._next_tag = next_tag
+        head[1] = index + n
+        return n
 
     def _allocate_uop(self, du: DynUop) -> None:
         now = self.now
@@ -1152,9 +1373,11 @@ class OoOCore:
             self._c_cond_branches.value += 1
             su = rec.uop
             backward = 0 <= su.target < su.pc
+            ckpt = rec.hist_checkpoint
             self.branch_unit.predictor.update(
                 rec.pc, rec.ghr_at_predict, rec.actual_taken,
-                rec.path_at_predict, backward=backward)
+                rec.path_at_predict, backward=backward,
+                folds=(ckpt[2], ckpt[3]) if len(ckpt) == 4 else None)
             mispredict = rec.mispredict
             if mispredict:
                 self._c_cond_mispredicts.value += 1

@@ -34,13 +34,21 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
-    "CPI_PREFIX", "CPI_GROUPS", "CPI_LEAVES", "LEAF_GROUP", "LEAF_LABELS",
+    "CPI_PREFIX", "CPI_GROUPS", "CPI_LEAVES", "CPI_SCHEMA_VERSION",
+    "LEAF_GROUP", "LEAF_LABELS",
     "CpiStack", "CpiStackError", "apf_coverage", "cpi_slot_deltas",
     "diff_stacks", "load_stacks", "render_coverage", "render_diff",
     "render_leaf_table", "stack_from_counters", "stack_from_result",
 ]
 
 CPI_PREFIX = "cpi_"
+
+#: Artifact-schema generation that introduced CPI-stack records. Dumps and
+#: manifests written by earlier builds (v1: raw counters only, v2: obs
+#: metric streams without the ``cpi_stack`` kind) carry no ``cpi_*``
+#: leaves; loaders below detect that and say so instead of surfacing a
+#: raw ``KeyError`` from the middle of a diff.
+CPI_SCHEMA_VERSION = 3
 
 CPI_GROUPS: Dict[str, Tuple[str, ...]] = {
     "retired": ("base",),
@@ -154,6 +162,15 @@ class CpiStack:
 
     @classmethod
     def from_record(cls, record: Mapping[str, object]) -> "CpiStack":
+        missing = [key for key in ("width", "cycles", "slots")
+                   if key not in record]
+        if missing:
+            raise CpiStackError(
+                f"cpi_stack record lacks {', '.join(missing)} — written "
+                f"by a build older than CPI-stack schema "
+                f"v{CPI_SCHEMA_VERSION}; regenerate the artifact with "
+                f"`repro cpistack --out` (or re-run the campaign) on a "
+                f"current build")
         try:
             return cls(width=int(record["width"]),
                        cycles=int(record["cycles"]),
@@ -239,33 +256,57 @@ def load_stacks(path) -> Dict[str, CpiStack]:
     Returns stacks keyed by ``workload/config`` label.
     """
     path = Path(path)
-    text = path.read_text()
-    if path.suffix == ".jsonl":
-        records = []
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            if record.get("kind") == "cpi_stack":
-                records.append(record)
-        if not records:
-            raise CpiStackError(f"{path}: no cpi_stack metric records")
-        return _stacks_from_records(records)
-    doc = json.loads(text)
-    if isinstance(doc, dict) and "stacks" in doc:
-        return _stacks_from_records(doc["stacks"])
-    if isinstance(doc, dict) and "jobs" in doc:
-        records = [entry["cpi_stack"] for entry in doc["jobs"]
-                   if isinstance(entry, dict) and entry.get("cpi_stack")]
-        if not records:
-            raise CpiStackError(f"{path}: manifest has no cpi_stack entries")
-        return _stacks_from_records(records)
-    if isinstance(doc, dict) and "slots" in doc:
-        stack = CpiStack.from_record(doc)
-        return {stack.label(): stack}
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CpiStackError(f"{path}: {exc}") from exc
+    try:
+        if path.suffix == ".jsonl":
+            records = []
+            saw_any = False
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                saw_any = True
+                record = json.loads(line)
+                if record.get("kind") == "cpi_stack":
+                    records.append(record)
+            if not records:
+                detail = ("stream predates CPI-stack accounting (schema "
+                          f"v{CPI_SCHEMA_VERSION}); re-run with a current "
+                          "build to emit cpi_stack records"
+                          if saw_any else "empty metric stream")
+                raise CpiStackError(
+                    f"{path}: no cpi_stack metric records — {detail}")
+            return _stacks_from_records(records)
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CpiStackError(f"{path}: not valid JSON ({exc})") from exc
+    try:
+        if isinstance(doc, dict) and "stacks" in doc:
+            return _stacks_from_records(doc["stacks"])
+        if isinstance(doc, dict) and "jobs" in doc:
+            records = [entry["cpi_stack"] for entry in doc["jobs"]
+                       if isinstance(entry, dict) and entry.get("cpi_stack")]
+            if not records:
+                raise CpiStackError(
+                    f"{path}: manifest has no cpi_stack entries — it was "
+                    f"written before CPI-stack accounting (schema "
+                    f"v{CPI_SCHEMA_VERSION}) or its campaign ran without "
+                    f"collect; re-run the campaign on a current build")
+            return _stacks_from_records(records)
+        if isinstance(doc, dict) and "slots" in doc:
+            stack = CpiStack.from_record(doc)
+            return {stack.label(): stack}
+    except CpiStackError as exc:
+        # record-level failures gain the file context the caller acted on
+        if str(exc).startswith(str(path)):
+            raise
+        raise CpiStackError(f"{path}: {exc}") from exc
     raise CpiStackError(
-        f"{path}: not a cpistack dump, runner manifest, or metric stream")
+        f"{path}: not a cpistack dump, runner manifest, or metric stream "
+        f"(CPI-stack schema v{CPI_SCHEMA_VERSION})")
 
 
 # -- rendering ---------------------------------------------------------------

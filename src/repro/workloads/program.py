@@ -40,6 +40,7 @@ class Program:
         self.data_base = data_base
         self.data_end = max(data_end, data_base + 8)
         self.arrays: Dict[str, int] = dict(arrays or {})
+        self._nonbranch_runs: Optional[List[int]] = None
         for index, uop in enumerate(uops):
             expected = self.code_base + index * UOP_BYTES
             if uop.pc != expected:
@@ -63,6 +64,36 @@ class Program:
         if index >= len(self._uops):
             return None
         return self._uops[index]
+
+    def index_of(self, pc: int) -> int:
+        """Index of the uop at ``pc``, or -1 if outside the image or
+        misaligned (the arithmetic twin of :meth:`uop_at`)."""
+        offset = pc - self.code_base
+        if offset < 0 or offset % UOP_BYTES:
+            return -1
+        index = offset // UOP_BYTES
+        return index if index < len(self._uops) else -1
+
+    def nonbranch_runs(self) -> List[int]:
+        """``run[i]`` = number of consecutive uops starting at index ``i``
+        that are neither branches nor HALT — the uops a fetch engine can
+        consume without any control-flow decision. Includes a
+        ``run[len(self)] == 0`` sentinel. Computed once and cached (the
+        image is immutable); the block-grain frontend fast path indexes it
+        to size straight-line fetch batches in O(1).
+        """
+        runs = self._nonbranch_runs
+        if runs is None:
+            uops = self._uops
+            n = len(uops)
+            runs = [0] * (n + 1)
+            halt = Op.HALT
+            for i in range(n - 1, -1, -1):
+                su = uops[i]
+                if not su.is_branch and su.op is not halt:
+                    runs[i] = runs[i + 1] + 1
+            self._nonbranch_runs = runs
+        return runs
 
     def uops(self) -> Sequence[StaticUop]:
         return self._uops

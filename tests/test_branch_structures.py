@@ -61,6 +61,75 @@ class TestHistory:
         assert b.checkpoint() == a.checkpoint()
 
 
+class TestFoldedHistories:
+    """The O(1)-per-push maintained folds must stay bit-identical to
+    ``fold_xor`` recomputation of the masked registers — across pushes,
+    checkpoint/restore, adopt_folds, and copy_from."""
+
+    GHR_SPECS = [(4, 10), (7, 10), (13, 11), (24, 10), (43, 11),
+                 (78, 10), (141, 11), (256, 10), (5, 10), (11, 10),
+                 (1, 1), (3, 8), (9, 9)]
+    PATH_SPECS = [(8, 10), (14, 11), (16, 10), (2, 2), (32, 7)]
+
+    @staticmethod
+    def _expect(hist, specs, register):
+        from repro.common.bitops import fold_xor, mask
+        return [fold_xor(register & mask(length), length, width)
+                for (length, width) in specs]
+
+    def _check(self, hist):
+        gv, pv = hist.folds
+        assert gv == self._expect(hist, self.GHR_SPECS, hist.ghr)
+        assert pv == self._expect(hist, self.PATH_SPECS, hist.path)
+
+    def test_folds_track_recomputation_under_random_pushes(self):
+        import random
+        rng = random.Random(99)
+        hist = SpeculativeHistory(256, path_length=16)
+        hist.attach_folds(self.GHR_SPECS, self.PATH_SPECS)
+        snapshots = []
+        for step in range(2000):
+            hist.push(rng.random() < 0.5, rng.randrange(1 << 20) << 2)
+            if step % 37 == 0:
+                snapshots.append(hist.checkpoint())
+            if step % 101 == 100 and snapshots:
+                hist.restore(snapshots[rng.randrange(len(snapshots))])
+            self._check(hist)
+
+    def test_checkpoint_carries_folds(self):
+        hist = SpeculativeHistory(64)
+        hist.attach_folds([(24, 10)], [(16, 10)])
+        hist.push(True, 0x40)
+        snap = hist.checkpoint()
+        assert len(snap) == 4
+        hist.push(False, 0x44)
+        hist.restore(snap)
+        assert hist.checkpoint() == snap
+        self_folds = hist.folds
+        # restore must preserve list identity (folds tuple aliases them)
+        assert hist.folds is self_folds
+
+    def test_adopt_folds_then_restore_matches(self):
+        main = SpeculativeHistory(64)
+        main.attach_folds(self.GHR_SPECS, self.PATH_SPECS)
+        for i in range(50):
+            main.push(i % 3 == 0, 0x1000 + 4 * i)
+        snap = main.checkpoint()
+        for i in range(10):
+            main.push(True, 0x2000 + 4 * i)
+        shadow = SpeculativeHistory(64)
+        shadow.adopt_folds(main)
+        shadow.restore(snap)
+        assert shadow.checkpoint() == snap
+        self._check(shadow)
+
+    def test_unattached_history_keeps_two_tuple_checkpoints(self):
+        hist = SpeculativeHistory(16)
+        hist.push(True, 0x40)
+        assert hist.folds is None
+        assert len(hist.checkpoint()) == 2
+
+
 class TestGshare:
     def test_learns_bias(self):
         predictor = Gshare(GshareConfig(log_size=10, history_length=8))

@@ -369,6 +369,48 @@ class TestCliAndArtifacts:
         with pytest.raises(CpiStackError):
             load_stacks(bad)
 
+    def test_pre_v3_record_names_missing_keys_and_schema(self, tmp_path):
+        """A dump whose records predate the CPI-stack schema (no width/
+        cycles/slots) must fail naming the file, the missing keys, and
+        the required schema version — not with a raw KeyError."""
+        old = tmp_path / "old_run.json"
+        old.write_text(json.dumps(
+            {"stacks": [{"workload": "leela", "config": "apf",
+                         "instructions": 1200}]}))
+        with pytest.raises(CpiStackError) as err:
+            load_stacks(old)
+        message = str(err.value)
+        assert "old_run.json" in message
+        assert "width" in message and "cycles" in message
+        assert "schema v3" in message
+        assert "KeyError" not in message
+
+    def test_pre_v3_metric_stream_is_diagnosed(self, tmp_path):
+        """A JSONL metric stream with records but no cpi_stack kind is an
+        old-build artifact, not an empty stream — the message must say
+        so and name the schema version."""
+        stream = tmp_path / "metrics.jsonl"
+        stream.write_text(json.dumps(
+            {"kind": "occupancy", "subsystem": "rob", "p50": 1}) + "\n")
+        with pytest.raises(CpiStackError) as err:
+            load_stacks(stream)
+        message = str(err.value)
+        assert "metrics.jsonl" in message
+        assert "predates CPI-stack accounting" in message
+        assert "schema v3" in message
+
+    def test_diff_on_pre_v3_artifact_exits_cleanly(self, capsys, tmp_path):
+        """`repro cpistack --diff` on a pre-v3 artifact must exit with a
+        schema message, not a traceback."""
+        old = tmp_path / "old_run.json"
+        old.write_text(json.dumps(
+            {"stacks": [{"workload": "leela", "config": "base"}]}))
+        with pytest.raises(SystemExit) as err:
+            main(["cpistack", "--diff", str(old), str(old)])
+        message = str(err.value)
+        assert "cpistack --diff" in message
+        assert "schema v3" in message
+
     def test_golden_stack(self, capsys):
         """Pin the exact attribution of the canonical tiny run.  After a
         deliberate taxonomy/attribution change, regenerate with::

@@ -144,3 +144,123 @@ class TestLoopEquivalence:
         assert cpi  # the run produced attribution at all
         assert {k: v for k, v in observed.stats.counters.items()
                 if k.startswith(CPI_PREFIX)} == cpi
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("config_key", ["base", "apf"])
+class TestBlockFastPath:
+    """The block-grain frontend fast path (batchable bundles, block
+    templates, batch ROB allocation) is a pure optimization: forcing it
+    off must reproduce every cycle and counter bit-exactly."""
+
+    def test_fast_path_off_is_bit_identical(self, workload, config_key):
+        fast = make_core(workload, config_key)
+        fast.run(TOTAL)
+        # the run must actually have exercised the fast path, or this
+        # test proves nothing
+        assert len(fast.block_cache) > 0
+        slow = make_core(workload, config_key)
+        slow.fetch.use_block_fast_path = False
+        slow.run(TOTAL)
+        assert len(slow.block_cache) == 0
+        assert fingerprint(slow) == fingerprint(fast)
+
+    def test_fast_path_off_matches_reference_loop(self, workload,
+                                                  config_key):
+        """Close the triangle: (skip, fast) == (ref, slow), so all four
+        driver/fast-path combinations are transitively identical."""
+        fast = make_core(workload, config_key)
+        fast.run(TOTAL)
+        ref = make_core(workload, config_key)
+        ref.fetch.use_block_fast_path = False
+        ref.run(TOTAL, cycle_by_cycle=True)
+        assert fingerprint(ref) == fingerprint(fast)
+
+    def test_snapshot_restore_at_mid_block_splits(self, workload,
+                                                  config_key):
+        """Quiesce/snapshot at split points chosen to land mid-block
+        (odd, non-round retire counts): the fast path must drain
+        cleanly, producing the same snapshot dict and the same resumed
+        run as the per-uop reference path split at the same point."""
+        for split in (TOTAL // 3 + 1, TOTAL // 2 + 7):
+            results = {}
+            for fp in (True, False):
+                first = make_core(workload, config_key)
+                first.fetch.use_block_fast_path = fp
+                first.run(split)
+                first.quiesce()
+                state = first.snapshot()
+                second = make_core(workload, config_key)
+                second.fetch.use_block_fast_path = fp
+                second.restore(state)
+                second.run(TOTAL)
+                results[fp] = (state, fingerprint(second))
+            assert results[True] == results[False], f"split at {split}"
+
+    def test_obs_event_stream_identical_across_fast_path(self, workload,
+                                                         config_key):
+        """Block-batched allocation must replay the exact per-uop event
+        stream: every recorded event tuple and every occupancy histogram
+        matches the per-uop reference path."""
+        from repro.obs import EventRecorder
+        streams = {}
+        for fp in (True, False):
+            core = make_core(workload, config_key)
+            core.fetch.use_block_fast_path = fp
+            recorder = EventRecorder()
+            core.attach_obs(recorder)
+            core.run(TOTAL)
+            assert recorder.dropped == 0
+            streams[fp] = (list(recorder.events),
+                           {k: dict(h.buckets)
+                            for k, h in recorder.occupancy.items()})
+        assert streams[True][0] == streams[False][0]
+        assert streams[True][1] == streams[False][1]
+
+    def test_apf_restores_fire_with_fast_path_on(self, workload,
+                                                 config_key):
+        """The APF capture/restore boundary is a fast-path fallback
+        trigger; restores must still fire (and agree with the per-uop
+        path) when batch allocation is active."""
+        if config_key != "apf":
+            pytest.skip("restore boundary only exists with APF on")
+        fast = make_core(workload, config_key)
+        fast.run(TOTAL)
+        assert fast.stats.counters["apf_restores"] > 0
+        slow = make_core(workload, config_key)
+        slow.fetch.use_block_fast_path = False
+        slow.run(TOTAL)
+        assert (slow.stats.counters["apf_restores"]
+                == fast.stats.counters["apf_restores"])
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("config_key", ["base", "apf"])
+class TestSkipWindowDebugMode:
+    """`REPRO_DEBUG_SKIPS=1` re-derives every next_wakeup contract over
+    each skipped window; a full run under the mode is a regression test
+    that no stage under-reports its wakeup."""
+
+    def test_debug_mode_passes_and_stays_identical(self, workload,
+                                                   config_key,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_SKIPS", "1")
+        checked = make_core(workload, config_key)
+        assert checked._debug_skips
+        checked.run(TOTAL)
+        monkeypatch.setenv("REPRO_DEBUG_SKIPS", "0")
+        plain = make_core(workload, config_key)
+        assert not plain._debug_skips
+        plain.run(TOTAL)
+        assert fingerprint(checked) == fingerprint(plain)
+
+
+def test_skip_window_checker_catches_stale_wakeup():
+    """The debug checker must actually fire on a violated contract: a
+    pending resolution event inside a claimed-idle window is the classic
+    stale-wakeup bug shape."""
+    core = make_core("leela", "base")
+    core.run(500)
+    core.events.insert(0, (core.now + 3, 0, object()))
+    with pytest.raises(AssertionError, match="branch resolution"):
+        core._verify_skip_window(core.now + 1, core.now + 5)
