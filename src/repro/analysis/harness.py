@@ -43,8 +43,9 @@ from repro.core.simulator import SimResult, Simulator
 from repro.sampling import SamplingPlan, SamplingSimulator
 
 __all__ = ["CACHE_SCHEMA_VERSION", "bench_windows", "cache_path",
-           "config_signature", "current_sampling", "deserialize_result",
-           "entry_path", "load_cache_payload", "result_key", "run_cached",
+           "commit_payload", "config_signature", "current_sampling",
+           "deserialize_result", "entry_path", "load_cache_payload",
+           "payload_bytes", "probe_payload", "result_key", "run_cached",
            "serialize_result", "store_cache_payload", "sweep",
            "sweep_configs", "using_sampling"]
 
@@ -228,6 +229,31 @@ def store_cache_payload(path: Path, payload: dict) -> None:
     finally:
         if tmp.exists():
             tmp.unlink()
+
+
+def probe_payload(key: str) -> Tuple[Optional[dict], bool]:
+    """Key-level cache probe: ``(payload, corrupt)`` for the entry at
+    ``key`` (see :func:`load_cache_payload` for the contract). This is
+    the content-addressed read the service result store is built on."""
+    return load_cache_payload(entry_path(key))
+
+
+def commit_payload(key: str, payload: dict) -> Path:
+    """Key-level atomic commit of ``payload``; returns the entry path.
+
+    Entries written here are byte-identical to the ones
+    :func:`run_cached` and the runner write for the same key: the same
+    canonical sorted-key JSON via :func:`store_cache_payload`.
+    """
+    path = entry_path(key)
+    store_cache_payload(path, payload)
+    return path
+
+
+def payload_bytes(payload: dict) -> bytes:
+    """The exact bytes :func:`store_cache_payload` commits for
+    ``payload`` — the canonical form for byte-identity assertions."""
+    return json.dumps(payload, sort_keys=True).encode()
 
 
 def run_cached(workload: str, config: CoreConfig,

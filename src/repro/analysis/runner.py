@@ -26,6 +26,13 @@ The module-level "active runner" lets high-level entry points (the
 ``repro bench`` CLI) install one configured :class:`Runner` that all
 :func:`repro.analysis.harness.sweep` calls underneath share — benches
 need no code changes to run in parallel.
+
+Execution is factored into an incremental :class:`JobExecutor` —
+submit/step semantics over the worker pool, blocking in
+``multiprocessing.connection.wait`` on all live pipes instead of
+busy-polling — so long-lived drivers (the ``repro serve`` daemon's DAG
+scheduler) can feed jobs one at a time and interleave their own work,
+while :meth:`Runner.run` stays the batch front door.
 """
 
 from __future__ import annotations
@@ -35,10 +42,13 @@ import os
 import sys
 import time
 import traceback
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (Deque, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from repro.common.config import CoreConfig
 from repro.core.simulator import SimResult, Simulator
@@ -46,13 +56,14 @@ from repro.obs.metrics import current_metric_stream
 from repro.sampling import SamplingPlan, SamplingSimulator
 
 __all__ = [
-    "Job", "JobFailure", "RunManifest", "Runner", "RunnerError",
-    "current_runner", "make_job", "resolve_jobs", "using_runner",
+    "Job", "JobEvent", "JobExecutor", "JobFailure", "RunManifest",
+    "Runner", "RunnerError", "current_runner", "make_job", "resolve_jobs",
+    "using_runner",
 ]
 
 _JOBS_ENV = "REPRO_BENCH_JOBS"
 
-#: seconds between scheduler polls of the worker pool
+#: default seconds one executor step blocks waiting for worker pipes
 _POLL_INTERVAL = 0.02
 
 
@@ -206,14 +217,23 @@ class RunManifest:
         }
 
     def save(self, path) -> Path:
-        """Atomically write the manifest JSON to ``path``."""
+        """Atomically write the manifest JSON to ``path``.
+
+        The temp file is unlinked even when serialisation raises
+        (e.g. unserialisable ``meta``), mirroring the cache writer in
+        :func:`repro.analysis.harness.store_cache_payload`.
+        """
         import json
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        with tmp.open("w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-        os.replace(tmp, path)
+        try:
+            with tmp.open("w") as handle:
+                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
         return path
 
 
@@ -270,6 +290,215 @@ class _Task:
     attempts: int = 0
     started: float = 0.0
     first_started: float = 0.0
+
+
+# --------------------------------------------------------------------------
+# Incremental executor
+# --------------------------------------------------------------------------
+
+@dataclass
+class JobEvent:
+    """One executor transition, returned by :meth:`JobExecutor.step`.
+
+    ``kind`` is one of:
+
+    * ``"started"`` — a worker process was launched for the job
+      (``attempts`` counts this launch).
+    * ``"retry"`` — the attempt crashed / timed out / raised and the job
+      was re-enqueued; ``error`` holds the failure text.
+    * ``"ok"`` — terminal success; ``payload`` is the serialised result.
+    * ``"failed"`` / ``"timeout"`` — terminal failure after all retries;
+      ``error`` holds the last failure text.
+
+    ``wall_time`` on terminal events spans from the job's *first* launch.
+    """
+
+    kind: str
+    job: Job
+    attempts: int
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    wall_time: float = 0.0
+
+
+class JobExecutor:
+    """Incremental worker-pool executor: submit jobs, step for events.
+
+    The executor owns the worker processes, per-job timeout enforcement,
+    and bounded retry; callers own everything else (cache probes, result
+    handling, manifests beyond retry events). :class:`Runner` drives it
+    to completion in one loop; the ``repro serve`` scheduler feeds it one
+    DAG-ready job at a time and interleaves its own bookkeeping between
+    :meth:`step` calls.
+
+    Scheduling structure:
+
+    * ``pending`` is a :class:`collections.deque`; fresh submissions and
+      retries both join at the **tail** (documented behaviour: a retried
+      job waits behind everything already queued, so one flaky job cannot
+      starve the rest of a campaign), and launches pop from the head.
+    * :meth:`step` blocks in ``multiprocessing.connection.wait`` on all
+      live worker pipes (bounded by the nearest timeout deadline) instead
+      of busy-polling each pipe — an idle pool costs no CPU, which is
+      what lets a long-lived daemon host sleep between jobs.
+    """
+
+    def __init__(self, slots: Optional[int] = None,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 manifest: Optional[RunManifest] = None) -> None:
+        self.slots = resolve_jobs(slots)
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.manifest = manifest
+        self._ctx = _mp_context()
+        self._pending: Deque[_Task] = deque()
+        self._running: List[Tuple[_Task, object, object]] = []
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots not already claimed by running or queued work."""
+        return max(0, self.slots - len(self._running) - len(self._pending))
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending and not self._running
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Enqueue ``job`` at the tail of the pending deque."""
+        self._pending.append(_Task(job))
+
+    # -- stepping ---------------------------------------------------------
+
+    def step(self, wait: float = _POLL_INTERVAL) -> List[JobEvent]:
+        """Launch queued work, wait up to ``wait`` seconds for worker
+        activity, and return the resulting :class:`JobEvent` list.
+
+        Returns immediately (empty list) when the executor is idle.
+        """
+        events: List[JobEvent] = []
+        while self._pending and len(self._running) < self.slots:
+            task = self._pending.popleft()
+            self._launch(task)
+            events.append(JobEvent("started", task.job, task.attempts))
+        if not self._running:
+            return events
+
+        timeout = wait
+        if self.timeout is not None:
+            nearest = min(task.started + self.timeout
+                          for task, _proc, _conn in self._running)
+            timeout = max(0.0, min(wait, nearest - time.monotonic()))
+        ready = set(_mp_connection.wait(
+            [conn for _task, _proc, conn in self._running], timeout))
+
+        now = time.monotonic()
+        for entry in list(self._running):
+            task, proc, conn = entry
+            if conn in ready:
+                self._running.remove(entry)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # pipe closed without a payload: the worker died
+                    # before (or while) sending
+                    message = None
+                proc.join()
+                conn.close()
+                if message is None:
+                    self._fail_or_retry(
+                        task, "failed",
+                        f"worker crashed (exitcode {proc.exitcode})",
+                        events)
+                else:
+                    kind, payload = message
+                    if kind == "ok":
+                        events.append(JobEvent(
+                            "ok", task.job, task.attempts, payload=payload,
+                            wall_time=now - task.first_started))
+                    else:
+                        self._fail_or_retry(task, "failed", payload, events)
+            elif (self.timeout is not None
+                  and now - task.started > self.timeout):
+                self._running.remove(entry)
+                proc.terminate()
+                proc.join()
+                conn.close()
+                self._fail_or_retry(
+                    task, "timeout",
+                    f"timed out after {self.timeout:g}s", events)
+            elif not proc.is_alive():
+                # belt and braces: a dead worker's pipe should have been
+                # reported ready (EOF), but never wedge on one that isn't
+                self._running.remove(entry)
+                proc.join()
+                conn.close()
+                self._fail_or_retry(
+                    task, "failed",
+                    f"worker crashed (exitcode {proc.exitcode})", events)
+        return events
+
+    def _launch(self, task: _Task) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        job = task.job
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, job.workload, job.config,
+                  job.warmup, job.measure, job.seed, job.sampling),
+            daemon=True)
+        proc.start()
+        child_conn.close()
+        task.started = time.monotonic()
+        if not task.first_started:
+            task.first_started = task.started
+        task.attempts += 1
+        self._running.append((task, proc, parent_conn))
+
+    def _fail_or_retry(self, task: _Task, status: str, error: str,
+                       events: List[JobEvent]) -> None:
+        if task.attempts <= self.retries:
+            if self.manifest is not None:
+                self.manifest.record_event(
+                    "retry", key=task.job.key, attempt=task.attempts,
+                    status=status, error=error.strip().splitlines()[-1]
+                    if error.strip() else status)
+            # re-enqueue at the tail: the retry waits behind every job
+            # already queued (see the class docstring)
+            self._pending.append(task)
+            events.append(JobEvent("retry", task.job, task.attempts,
+                                   error=error))
+            return
+        events.append(JobEvent(
+            status, task.job, task.attempts, error=error,
+            wall_time=time.monotonic() - task.first_started))
+
+    # -- teardown ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Terminate running workers and drop queued work."""
+        for _task, proc, conn in self._running:
+            proc.terminate()
+            proc.join()
+            conn.close()
+        self._running.clear()
+        self._pending.clear()
+
+    def __enter__(self) -> "JobExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
 
 
 # --------------------------------------------------------------------------
@@ -365,9 +594,10 @@ class Runner:
                 unique.append(job)
 
         results: Dict[Job, SimResult] = {}
-        pending: List[_Task] = []
         total = len(unique)
         done = hits = ran = 0
+        executor = JobExecutor(self.jobs, self.timeout, self.retries,
+                               manifest=self.manifest)
 
         for job in unique:
             payload = None
@@ -385,110 +615,44 @@ class Runner:
                 done += 1
                 hits += 1
             else:
-                pending.append(_Task(job))
-        self._progress(done, total, hits, ran, len(pending), 0)
+                executor.submit(job)
+        self._progress(done, total, hits, ran, executor.pending_count, 0)
 
         failures: List[JobFailure] = []
-        ctx = _mp_context()
-        running: List[Tuple[_Task, object, object]] = []  # task, proc, conn
-
-        def launch(task: _Task) -> None:
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            job = task.job
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, job.workload, job.config,
-                      job.warmup, job.measure, job.seed, job.sampling),
-                daemon=True)
-            proc.start()
-            child_conn.close()
-            task.started = time.monotonic()
-            if not task.first_started:
-                task.first_started = task.started
-            task.attempts += 1
-            running.append((task, proc, parent_conn))
-
-        def fail_or_retry(task: _Task, status: str, error: str) -> None:
-            nonlocal done
-            if task.attempts <= self.retries:
-                self.manifest.record_event(
-                    "retry", key=task.job.key, attempt=task.attempts,
-                    status=status, error=error.strip().splitlines()[-1]
-                    if error.strip() else status)
-                pending.append(task)
-                return
-            done += 1
-            self.manifest.record_job(
-                task.job, status,
-                wall_time=time.monotonic() - task.first_started,
-                attempts=task.attempts, error=error)
-            failures.append(JobFailure(task.job.key, task.job.workload,
-                                       status, error))
-
-        def finish(task: _Task, payload: dict) -> None:
-            nonlocal done, ran
-            job = task.job
-            results[job] = harness.deserialize_result(payload)
-            if self.use_cache:
-                harness.store_cache_payload(harness.entry_path(job.key),
-                                            payload)
-            done += 1
-            ran += 1
-            self.manifest.record_job(
-                job, "ok", wall_time=time.monotonic() - task.first_started,
-                attempts=task.attempts, result_payload=payload)
-
         try:
-            while pending or running:
-                while pending and len(running) < self.jobs:
-                    launch(pending.pop(0))
+            while not executor.idle:
                 progressed = False
-                for entry in list(running):
-                    task, proc, conn = entry
-                    message = None
-                    if conn.poll(0):
-                        try:
-                            message = conn.recv()
-                        except (EOFError, OSError):
-                            message = None
-                    if message is not None:
-                        running.remove(entry)
-                        proc.join()
-                        conn.close()
-                        kind, payload = message
-                        if kind == "ok":
-                            finish(task, payload)
-                        else:
-                            fail_or_retry(task, "failed", payload)
+                for event in executor.step():
+                    if event.kind == "ok":
+                        job = event.job
+                        results[job] = harness.deserialize_result(
+                            event.payload)
+                        if self.use_cache:
+                            harness.store_cache_payload(
+                                harness.entry_path(job.key), event.payload)
+                        done += 1
+                        ran += 1
+                        self.manifest.record_job(
+                            job, "ok", wall_time=event.wall_time,
+                            attempts=event.attempts,
+                            result_payload=event.payload)
                         progressed = True
-                    elif (self.timeout is not None
-                          and time.monotonic() - task.started > self.timeout):
-                        running.remove(entry)
-                        proc.terminate()
-                        proc.join()
-                        conn.close()
-                        fail_or_retry(
-                            task, "timeout",
-                            f"timed out after {self.timeout:g}s")
-                        progressed = True
-                    elif not proc.is_alive():
-                        running.remove(entry)
-                        proc.join()
-                        conn.close()
-                        fail_or_retry(
-                            task, "failed",
-                            f"worker crashed (exitcode {proc.exitcode})")
+                    elif event.kind in ("failed", "timeout"):
+                        done += 1
+                        self.manifest.record_job(
+                            event.job, event.kind,
+                            wall_time=event.wall_time,
+                            attempts=event.attempts, error=event.error)
+                        failures.append(JobFailure(
+                            event.job.key, event.job.workload,
+                            event.kind, event.error))
                         progressed = True
                 if progressed:
                     self._progress(done, total, hits, ran,
-                                   len(pending), len(running))
-                else:
-                    time.sleep(_POLL_INTERVAL)
+                                   executor.pending_count,
+                                   executor.active_count)
         finally:
-            for _task, proc, conn in running:
-                proc.terminate()
-                proc.join()
-                conn.close()
+            executor.shutdown()
             self._progress_end()
 
         if failures and strict:

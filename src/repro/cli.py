@@ -10,6 +10,10 @@ cpistack  top-down CPI stack of one run (text bars + --json), or
 bench     run paper benchmarks (parallel, cached, with a run manifest)
 trace     record a pipeline trace (text timeline, Chrome/Perfetto JSON,
           or gem5-O3PipeView/Konata format)
+serve     run the simulation service daemon: HTTP request intake, job-DAG
+          scheduling with work stealing, content-addressed result store
+submit    submit a run/compare/sweep request to a serve daemon
+status    query a serve daemon (overview, or one request's detail)
 list      list workloads and predefined configurations
 describe  print the Table III-style configuration summary
 
@@ -239,6 +243,66 @@ def build_parser() -> argparse.ArgumentParser:
                          default="tage")
     add_apf(trace_p)
     add_metrics(trace_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (HTTP, DAG scheduling, "
+             "content-addressed result store)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8023,
+                         help="TCP port (0 binds an ephemeral port; "
+                              "default 8023)")
+    serve_p.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: "
+                              "$REPRO_BENCH_JOBS or 1)")
+    serve_p.add_argument("--timeout", type=float, default=None,
+                         help="per-simulation timeout in seconds")
+    serve_p.add_argument("--retries", type=int, default=1,
+                         help="retries per failed/timed-out job (default 1)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk result cache (results "
+                              "kept in memory only)")
+    add_metrics(serve_p)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a request to a repro serve daemon")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8023")
+    submit_p.add_argument("--request", default=None, metavar="PATH",
+                          help="JSON request document to submit verbatim "
+                               "('-' reads stdin); overrides the "
+                               "flag-built request")
+    submit_p.add_argument("--kind", choices=("run", "compare", "sweep"),
+                          default="compare",
+                          help="request kind when building from flags "
+                               "(default compare)")
+    submit_p.add_argument("--workloads", default="leela,deepsjeng,tc",
+                          help="comma-separated list, or 'all'/'spec'/'gap'")
+    submit_p.add_argument("--warmup", type=int, default=None)
+    submit_p.add_argument("--measure", type=int, default=None)
+    submit_p.add_argument("--seed", type=int, default=1234)
+    submit_p.add_argument("--sampling", default=None, metavar="SPEC")
+    submit_p.add_argument("--scale", choices=("small", "paper"),
+                          default="small")
+    submit_p.add_argument("--predictor",
+                          choices=("tage", "perceptron", "gshare"),
+                          default="tage")
+    add_apf(submit_p)
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the request is terminal and "
+                               "print its results")
+    submit_p.add_argument("--poll", type=float, default=0.5,
+                          help="--wait poll interval in seconds")
+    submit_p.add_argument("--json", action="store_true", dest="as_json",
+                          help="print raw JSON responses")
+
+    status_p = sub.add_parser(
+        "status", help="query a repro serve daemon")
+    status_p.add_argument("request_id", nargs="?", default=None,
+                          help="request id for full detail (default: "
+                               "daemon overview)")
+    status_p.add_argument("--url", default="http://127.0.0.1:8023")
+    status_p.add_argument("--json", action="store_true", dest="as_json",
+                          help="print raw JSON responses")
 
     sub.add_parser("list", help="list workloads and configurations")
 
@@ -626,6 +690,164 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.service import build_service
+    service = build_service(jobs=args.jobs, timeout=args.timeout,
+                            retries=args.retries,
+                            use_cache=not args.no_cache,
+                            host=args.host, port=args.port)
+    # bind before announcing so a taken port fails loudly up front
+    try:
+        service.start()
+    except RuntimeError as exc:
+        raise SystemExit(f"serve: {exc}")
+    print(f"repro service listening on {service.url} "
+          f"(workers={service.scheduler.executor.slots}, "
+          f"cache={'off' if args.no_cache else 'on'}); Ctrl-C to stop",
+          file=sys.stderr)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+def _apf_spec_from_args(args) -> dict:
+    return {
+        "mode": "dpip" if args.dpip else "apf",
+        "depth": args.depth,
+        "buffers": args.buffers,
+        "scheme": args.scheme,
+        "tage_banks": args.tage_banks,
+        "confidence": not args.no_confidence,
+    }
+
+
+def _request_from_args(args) -> dict:
+    base_spec: Dict[str, object] = {}
+    if args.scale != "small":
+        base_spec["scale"] = args.scale
+    if args.predictor != "tage":
+        base_spec["predictor"] = args.predictor
+    apf_spec = dict(base_spec)
+    apf_spec["apf"] = _apf_spec_from_args(args)
+    workloads = _workload_list(args.workloads)
+    doc: Dict[str, object] = {
+        "kind": args.kind,
+        "warmup": args.warmup,
+        "measure": args.measure,
+        "seed": args.seed,
+        "sampling": args.sampling,
+    }
+    if args.kind == "run":
+        doc["workload"] = workloads[0]
+        doc["config"] = apf_spec if (args.apf or args.dpip) else base_spec
+    elif args.kind == "compare":
+        doc["workloads"] = workloads
+        doc["base"] = base_spec
+        doc["test"] = apf_spec
+    else:   # sweep: baseline plus the APF point built from the flags
+        doc["workloads"] = workloads
+        doc["configs"] = [{"name": "base", "config": base_spec},
+                          {"name": "apf", "config": apf_spec}]
+    return doc
+
+
+def _print_request_detail(detail: dict) -> None:
+    counts = detail.get("nodes", {})
+    print(f"request {detail['request_id']}: {detail['status']} "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})")
+    for label, entry in sorted(detail.get("results", {}).items()):
+        payload = entry["payload"]
+        if payload.get("synth") == "compare_summary":
+            print(f"  {label}: geomean speedup "
+                  f"{payload['geomean_speedup']:.3f}")
+            for name, ratio in sorted(payload["speedups"].items()):
+                print(f"    {name}: {ratio:.3f}")
+        elif payload.get("synth") == "config_summary":
+            print(f"  {label}: geomean IPC {payload['geomean_ipc']:.3f}")
+        elif "ipc" in payload and isinstance(payload["ipc"], float):
+            print(f"  {label}: IPC {payload['ipc']:.3f}")
+        else:
+            print(f"  {label}: {entry['key']}")
+    failed = [node for node in detail.get("nodes_detail", [])
+              if node["state"] in ("failed", "poisoned")]
+    for node in failed:
+        print(f"  !! {node['label']} [{node['state']}]"
+              + (f": {node['error']}" if node.get("error") else ""),
+              file=sys.stderr)
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+    if args.request:
+        text = (sys.stdin.read() if args.request == "-"
+                else Path(args.request).read_text())
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--request document is not JSON: {exc}")
+    else:
+        doc = _request_from_args(args)
+    client = ServiceClient(args.url)
+    try:
+        accepted = client.submit(doc)
+        if args.as_json and not args.wait:
+            print(json.dumps(accepted, indent=2, sort_keys=True))
+            return 0
+        print(f"accepted {accepted['request_id']}: "
+              f"{accepted['kind']} with {accepted['jobs']} leaf job(s), "
+              f"{accepted['nodes']} node(s)", file=sys.stderr)
+        if not args.wait:
+            print(accepted["request_id"])
+            return 0
+        detail = client.wait(accepted["request_id"], poll=args.poll)
+    except ServiceError as exc:
+        raise SystemExit(f"submit: {exc}")
+    if args.as_json:
+        print(json.dumps(detail, indent=2, sort_keys=True))
+    else:
+        _print_request_detail(detail)
+    return 0 if detail["status"] == "done" else 1
+
+
+def _cmd_status(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        if args.request_id:
+            detail = client.status(args.request_id)
+            if args.as_json:
+                print(json.dumps(detail, indent=2, sort_keys=True))
+            else:
+                _print_request_detail(detail)
+            return 0
+        overview = client.status()
+    except ServiceError as exc:
+        raise SystemExit(f"status: {exc}")
+    if args.as_json:
+        print(json.dumps(overview, indent=2, sort_keys=True))
+        return 0
+    rows = [(entry["request_id"], entry["kind"], entry["status"],
+             ", ".join(f"{k}={v}"
+                       for k, v in sorted(entry["nodes"].items())))
+            for entry in overview["requests"]]
+    print(render_table(["request", "kind", "status", "nodes"], rows,
+                       title=f"service requests ({args.url})"))
+    executor = overview["executor"]
+    store = overview["store"]
+    print(f"executor: {executor['active']} active / "
+          f"{executor['pending']} pending on {executor['slots']} slot(s); "
+          f"store: {store['hits']} hits, {store['misses']} misses, "
+          f"{store['dedups']} in-flight dedups")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     rows = [(n, "SPEC CPU2017int substitute") for n in SPEC_NAMES]
     rows += [(n, "GAP kernel") for n in GAP_NAMES]
@@ -664,6 +886,9 @@ _COMMANDS = {
     "cpistack": _cmd_cpistack,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
     "list": _cmd_list,
     "characterize": _cmd_characterize,
     "describe": _cmd_describe,

@@ -22,6 +22,13 @@ job, the CLI emits ``"result"`` records per simulation, and
 measured interval. The ambient stream is process-local: runner *worker*
 processes do not inherit it, so job/result records are emitted from the
 parent when results arrive.
+
+The ``repro serve`` daemon speaks the same schema for its telemetry:
+every accepted request (``"service_request"``) and every job state
+transition, cache hit, in-flight dedup, steal, and retry
+(``"service_job"``) is validated through here, buffered in memory for
+the ``/metrics`` endpoint, and mirrored to the ambient JSONL stream
+when the daemon runs with ``--emit-metrics``.
 """
 
 from __future__ import annotations
@@ -83,6 +90,24 @@ METRIC_KINDS = {
         "cycles": (int,),
         "instructions": (int,),
         "slots": (dict,),
+    },
+    # one `repro serve` request lifecycle transition ("accepted",
+    # "done", "failed"); jobs counts the request's leaf simulations
+    "service_request": {
+        "request_id": (str,),
+        "request_kind": (str,),
+        "event": (str,),
+        "jobs": (int,),
+    },
+    # one service job/DAG-node state transition, keyed by the node's
+    # content address; events: queued, started, retry, ok, failed,
+    # timeout, cache_hit, dedup (in-flight single-flight join), steal
+    # (dispatched from another request's ready queue), synthesized,
+    # poisoned (a dependency failed)
+    "service_job": {
+        "key": (str,),
+        "event": (str,),
+        "request_id": (str,),
     },
 }
 

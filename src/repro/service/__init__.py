@@ -1,0 +1,43 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its parts.
+
+The service promotes the single-host :class:`~repro.analysis.runner`
+worker pool into a long-lived experiment fleet:
+
+* :mod:`repro.service.requests` — the JSON request schema (``run`` /
+  ``compare`` / ``sweep``) and config-spec parsing.
+* :mod:`repro.service.dag` — request expansion into a job DAG: leaf
+  simulation nodes keyed by the schema-versioned
+  :func:`~repro.analysis.harness.result_key` content addresses, plus
+  synthesis nodes (compare deltas, geomeans, CPI-stack diffs) that
+  depend on their leaves.
+* :mod:`repro.service.store` — the content-addressed result store
+  wrapping the atomic harness cache, with in-flight single-flight
+  bookkeeping (one execution, many waiters).
+* :mod:`repro.service.telemetry` — service metric records (the PR-4
+  JSONL schema) buffered for ``/metrics`` and mirrored to an ambient
+  :class:`~repro.obs.metrics.MetricStream`.
+* :mod:`repro.service.scheduler` — DAG scheduling with per-request
+  ready queues and work stealing over one
+  :class:`~repro.analysis.runner.JobExecutor` worker pool.
+* :mod:`repro.service.daemon` — the stdlib-only asyncio HTTP front end
+  (``/submit``, ``/status``, ``/jobs``, ``/result/<key>``,
+  ``/metrics``, ``/healthz``).
+* :mod:`repro.service.client` — a urllib client used by
+  ``repro submit`` / ``repro status`` and the tests.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import Service, build_service
+from repro.service.dag import JobGraph, Node, expand_request
+from repro.service.requests import (RequestError, ServiceRequest,
+                                    config_from_spec, parse_request)
+from repro.service.scheduler import ServiceScheduler
+from repro.service.store import ResultStore
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = [
+    "JobGraph", "Node", "RequestError", "ResultStore", "Service",
+    "ServiceClient", "ServiceError", "ServiceRequest", "ServiceScheduler",
+    "ServiceTelemetry", "build_service", "config_from_spec",
+    "expand_request", "parse_request",
+]

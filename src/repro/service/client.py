@@ -1,0 +1,114 @@
+"""urllib client for the ``repro serve`` daemon.
+
+Used by ``repro submit`` / ``repro status``, the CI service-smoke job,
+and the tests; stdlib-only like everything else in the service layer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response (or unreachable daemon)."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for one daemon."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8023",
+                 timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, path: str, payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.url + path, data=body,
+                                         headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode()).get("error", "")
+            except Exception:
+                detail = ""
+            raise ServiceError(
+                f"{path}: HTTP {exc.code}"
+                + (f" — {detail}" if detail else ""),
+                status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.url}: {exc.reason}") from exc
+
+    # -- endpoints --------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._call("/healthz")
+
+    def submit(self, doc: dict) -> dict:
+        return self._call("/submit", payload=doc)
+
+    def status(self, request_id: Optional[str] = None) -> dict:
+        if request_id is None:
+            return self._call("/status")
+        return self._call(f"/status/{request_id}")
+
+    def jobs(self) -> dict:
+        return self._call("/jobs")
+
+    def result(self, key: str) -> dict:
+        return self._call(f"/result/{key}")
+
+    def metrics(self, kind: Optional[str] = None,
+                since: int = 0) -> dict:
+        query = []
+        if kind:
+            query.append(f"kind={kind}")
+        if since:
+            query.append(f"since={since}")
+        suffix = ("?" + "&".join(query)) if query else ""
+        return self._call("/metrics" + suffix)
+
+    # -- conveniences -----------------------------------------------------
+
+    def wait(self, request_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> dict:
+        """Poll ``/status/<id>`` until the request is terminal."""
+        deadline = time.monotonic() + timeout
+        while True:
+            detail = self.status(request_id)
+            if detail["status"] != "running":
+                return detail
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"request {request_id} still running after "
+                    f"{timeout:g}s")
+            time.sleep(poll)
+
+    def wait_healthy(self, timeout: float = 30.0,
+                     poll: float = 0.2) -> dict:
+        """Poll ``/healthz`` until the daemon answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(poll)

@@ -1,0 +1,325 @@
+"""Job-DAG expansion and synthesis evaluation for the service.
+
+A submitted request expands into a :class:`JobGraph`:
+
+* **Leaf nodes** (``kind="simulate"``) wrap one
+  :class:`~repro.analysis.runner.Job` and are identified by the job's
+  schema-versioned content address (:func:`harness.result_key` — the
+  same key the on-disk cache uses, so the graph is content-addressed
+  end to end and identical leaves across requests share one address).
+* **Synthesis nodes** (``kind="synthesize"``) are pure functions of
+  their dependencies' payloads: per-workload compare deltas (speedup +
+  CPI-stack leaf movement), per-config sweep summaries, and geomean
+  roll-ups. Their content address is derived from the synthesis kind
+  and the sorted dependency addresses.
+
+Failure semantics: a terminally failed node *poisons* its transitive
+dependents (they are marked ``"poisoned"`` and never evaluated), while
+independent branches of the DAG are unaffected — the same isolation the
+runner gives unrelated jobs in a flat campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis import harness
+from repro.analysis.runner import Job, make_job
+from repro.common.statistics import StatisticsError, geomean
+from repro.service.requests import ServiceRequest, config_from_spec
+
+__all__ = ["JobGraph", "Node", "TERMINAL_STATES", "evaluate_synthesis",
+           "expand_request"]
+
+#: node states with no further transitions
+TERMINAL_STATES = frozenset({"done", "failed", "poisoned"})
+
+#: synthesis payload movement below this fraction of issue slots is noise
+_CPI_MOVED_FLOOR = 0.001
+
+
+@dataclass
+class Node:
+    """One DAG node; ``key`` is its content address and graph identity."""
+
+    key: str
+    kind: str                     # "simulate" | "synthesize"
+    label: str                    # human-readable: "workload/config"
+    job: Optional[Job] = None     # simulate nodes only
+    synth: Optional[str] = None   # synthesize nodes only
+    deps: List[str] = field(default_factory=list)
+    state: str = "pending"
+    cache_hit: bool = False
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def snapshot(self) -> dict:
+        out = {"key": self.key, "kind": self.kind, "label": self.label,
+               "state": self.state, "deps": list(self.deps)}
+        if self.kind == "simulate":
+            out["workload"] = self.job.workload
+            out["cache_hit"] = self.cache_hit
+        else:
+            out["synth"] = self.synth
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+def _synth_key(synth: str, deps: Sequence[str], label: str) -> str:
+    digest = hashlib.sha256(
+        "|".join([synth, label, *sorted(deps)]).encode()).hexdigest()[:20]
+    return (f"synth-v{harness.CACHE_SCHEMA_VERSION}-{synth}-{digest}")
+
+
+class JobGraph:
+    """Content-addressed DAG of simulate and synthesize nodes."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, Node] = {}
+        self._dependents: Dict[str, List[str]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_job(self, job: Job, label: str) -> Node:
+        """Add (or return the existing) leaf node for ``job``."""
+        node = self.nodes.get(job.key)
+        if node is None:
+            node = Node(job.key, "simulate", label, job=job)
+            self.nodes[job.key] = node
+        return node
+
+    def add_synthesis(self, synth: str, deps: Sequence[Node],
+                      label: str) -> Node:
+        dep_keys = [dep.key for dep in deps]
+        key = _synth_key(synth, dep_keys, label)
+        node = self.nodes.get(key)
+        if node is None:
+            node = Node(key, "synthesize", label, synth=synth,
+                        deps=dep_keys)
+            self.nodes[key] = node
+            for dep_key in dep_keys:
+                self._dependents.setdefault(dep_key, []).append(key)
+        return node
+
+    # -- queries ----------------------------------------------------------
+
+    def dependents(self, key: str) -> List[str]:
+        return list(self._dependents.get(key, ()))
+
+    def leaves(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.kind == "simulate"]
+
+    def roots(self) -> List[Node]:
+        return [n for n in self.nodes.values()
+                if not self._dependents.get(n.key)]
+
+    def ready_syntheses(self) -> List[Node]:
+        """Pending synthesis nodes whose dependencies are all done."""
+        return [n for n in self.nodes.values()
+                if n.kind == "synthesize" and n.state == "pending"
+                and all(self.nodes[d].state == "done" for d in n.deps)]
+
+    @property
+    def terminal(self) -> bool:
+        return all(node.terminal for node in self.nodes.values())
+
+    @property
+    def failed(self) -> bool:
+        return any(node.state in ("failed", "poisoned")
+                   for node in self.nodes.values())
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for node in self.nodes.values():
+            out[node.state] = out.get(node.state, 0) + 1
+        return out
+
+    # -- failure propagation ----------------------------------------------
+
+    def poison(self, key: str) -> List[Node]:
+        """Mark every non-terminal transitive dependent of ``key`` as
+        poisoned; returns the newly poisoned nodes (deterministic
+        insertion order). Independent branches are untouched."""
+        poisoned: List[Node] = []
+        frontier = self.dependents(key)
+        while frontier:
+            dep_key = frontier.pop(0)
+            node = self.nodes[dep_key]
+            if node.terminal:
+                continue
+            node.state = "poisoned"
+            node.error = f"dependency failed: {key}"
+            poisoned.append(node)
+            frontier.extend(self.dependents(dep_key))
+        return poisoned
+
+
+# --------------------------------------------------------------------------
+# Request expansion
+# --------------------------------------------------------------------------
+
+def expand_request(request: ServiceRequest) -> JobGraph:
+    """Expand one parsed request into its job DAG."""
+    graph = JobGraph()
+    doc = request.doc
+    windows = dict(warmup=request.warmup, measure=request.measure,
+                   seed=request.seed, sampling=request.sampling)
+
+    if request.kind == "run":
+        config = config_from_spec(doc["config"])
+        graph.add_job(make_job(doc["workload"], config, **windows),
+                      f"{doc['workload']}/run")
+        return graph
+
+    if request.kind == "compare":
+        base_cfg = config_from_spec(doc["base"])
+        test_cfg = config_from_spec(doc["test"])
+        deltas = []
+        for name in request.workloads:
+            base = graph.add_job(make_job(name, base_cfg, **windows),
+                                 f"{name}/base")
+            test = graph.add_job(make_job(name, test_cfg, **windows),
+                                 f"{name}/test")
+            deltas.append(graph.add_synthesis(
+                "compare_delta", [base, test], f"{name}/delta"))
+        if len(deltas) > 1:
+            graph.add_synthesis("compare_summary", deltas, "geomean")
+        return graph
+
+    # sweep: every config over every workload, one summary per config,
+    # plus a cross-config roll-up when there is more than one config
+    summaries = []
+    for entry in doc["configs"]:
+        config = config_from_spec(entry["config"])
+        leaves = [graph.add_job(make_job(name, config, **windows),
+                                f"{name}/{entry['name']}")
+                  for name in request.workloads]
+        summaries.append(graph.add_synthesis(
+            "config_summary", leaves, entry["name"]))
+    if len(summaries) > 1:
+        graph.add_synthesis("sweep_summary", summaries, "sweep")
+    return graph
+
+
+# --------------------------------------------------------------------------
+# Synthesis evaluation
+# --------------------------------------------------------------------------
+
+def _stack_fractions(payload: dict, job: Job) -> Optional[Dict[str, float]]:
+    """CPI-stack leaf fractions of one leaf payload, or ``None`` when the
+    counters carry no slot attribution (e.g. sampled runs)."""
+    counters = payload.get("counters", {})
+    if not any(key.startswith("cpi_") for key in counters):
+        return None
+    from repro.obs.accounting import stack_from_counters
+    stack = stack_from_counters(
+        counters, width=job.config.backend.allocate_width,
+        cycles=payload.get("cycles", 0), workload=payload["workload"],
+        config=harness.config_signature(job.config),
+        instructions=payload.get("instructions", 0))
+    return dict(stack.fractions())
+
+
+def _compare_delta(node: Node, graph: JobGraph,
+                   get_payload: Callable[[str], dict]) -> dict:
+    base_node, test_node = (graph.nodes[k] for k in node.deps)
+    base, test = get_payload(base_node.key), get_payload(test_node.key)
+    if not base["ipc"]:
+        raise ValueError(f"baseline IPC is zero for {base_node.label}")
+    out = {
+        "synth": "compare_delta",
+        "workload": base["workload"],
+        "base_key": base_node.key,
+        "test_key": test_node.key,
+        "base_ipc": base["ipc"],
+        "test_ipc": test["ipc"],
+        "speedup": test["ipc"] / base["ipc"],
+        "base_mpki": base["branch_mpki"],
+        "test_mpki": test["branch_mpki"],
+    }
+    base_frac = _stack_fractions(base, base_node.job)
+    test_frac = _stack_fractions(test, test_node.job)
+    if base_frac is not None and test_frac is not None:
+        moved = {}
+        for leaf in sorted(set(base_frac) | set(test_frac)):
+            delta = test_frac.get(leaf, 0.0) - base_frac.get(leaf, 0.0)
+            if abs(delta) >= _CPI_MOVED_FLOOR:
+                moved[leaf] = round(delta, 6)
+        out["cpi_moved"] = moved
+    return out
+
+
+def _compare_summary(node: Node, graph: JobGraph,
+                     get_payload: Callable[[str], dict]) -> dict:
+    per_workload = {}
+    for dep_key in node.deps:
+        delta = get_payload(dep_key)
+        per_workload[delta["workload"]] = delta["speedup"]
+    try:
+        overall = geomean(per_workload.values())
+    except StatisticsError as exc:
+        raise ValueError(f"geomean over compare deltas failed: {exc}")
+    return {"synth": "compare_summary",
+            "geomean_speedup": overall,
+            "speedups": per_workload}
+
+
+def _config_summary(node: Node, graph: JobGraph,
+                    get_payload: Callable[[str], dict]) -> dict:
+    ipcs = {}
+    for dep_key in node.deps:
+        payload = get_payload(dep_key)
+        ipcs[payload["workload"]] = payload["ipc"]
+    try:
+        overall = geomean(ipcs.values())
+    except StatisticsError as exc:
+        raise ValueError(f"geomean IPC for config {node.label!r} "
+                         f"failed: {exc}")
+    return {"synth": "config_summary", "config": node.label,
+            "ipc": ipcs, "geomean_ipc": overall}
+
+
+def _sweep_summary(node: Node, graph: JobGraph,
+                   get_payload: Callable[[str], dict]) -> dict:
+    summaries = [get_payload(dep_key) for dep_key in node.deps]
+    baseline = summaries[0]
+    speedups = {}
+    for summary in summaries[1:]:
+        ratios = {wl: summary["ipc"][wl] / baseline["ipc"][wl]
+                  for wl in summary["ipc"]
+                  if baseline["ipc"].get(wl)}
+        speedups[summary["config"]] = {
+            "per_workload": ratios,
+            "geomean": geomean(ratios.values()) if ratios else None,
+        }
+    return {"synth": "sweep_summary", "baseline": baseline["config"],
+            "speedups": speedups}
+
+
+_SYNTHESES = {
+    "compare_delta": _compare_delta,
+    "compare_summary": _compare_summary,
+    "config_summary": _config_summary,
+    "sweep_summary": _sweep_summary,
+}
+
+
+def evaluate_synthesis(node: Node, graph: JobGraph,
+                       get_payload: Callable[[str], dict]) -> dict:
+    """Compute a synthesis node's payload from its dependencies.
+
+    Pure: reads dependency payloads through ``get_payload`` (the result
+    store) and returns a JSON-serialisable document. Raises on malformed
+    inputs; the scheduler converts that into a failed node, which then
+    poisons the node's own dependents.
+    """
+    evaluate = _SYNTHESES.get(node.synth)
+    if evaluate is None:
+        raise ValueError(f"unknown synthesis kind {node.synth!r}")
+    return evaluate(node, graph, get_payload)

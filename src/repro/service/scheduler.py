@@ -1,0 +1,401 @@
+"""DAG scheduling over the runner's worker pool, with work stealing.
+
+One :class:`ServiceScheduler` owns one
+:class:`~repro.analysis.runner.JobExecutor` (the PR-1 worker processes,
+with their per-job timeout / bounded-retry / failure-isolation semantics
+intact) and any number of live requests, each expanded into a
+:class:`~repro.service.dag.JobGraph`.
+
+Scheduling model:
+
+* Each request owns a **ready queue** (a deque of leaf nodes whose
+  single-flight claim made this request the leader).
+* Pool slots are divided fairly: with ``R`` active requests each gets a
+  share of ``ceil(slots / R)``. A request under its share dispatches
+  from the **head** of its own queue; a request under its share whose
+  queue is empty **steals from the tail** of the longest other queue
+  (classic work stealing — the thief takes the coldest work), which
+  keeps the pool saturated when one request drains before another.
+* Identical leaves across requests are deduplicated in flight by the
+  :class:`~repro.service.store.ResultStore`'s single-flight claims: one
+  execution, and every claimant's node completes from the same payload.
+* A terminal job failure marks the node failed in every claiming
+  request and poisons its transitive dependents there; independent
+  branches (and unrelated requests) continue.
+
+Threading: the scheduler mutates shared state only under its lock, and
+the executor is touched only by the scheduling thread (or by
+:meth:`drain` when no thread is running). ``submit_request`` — called
+from the daemon's asyncio thread — only parses, claims, and enqueues,
+then wakes the scheduling thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.analysis.runner import JobEvent, JobExecutor, RunManifest
+from repro.service.dag import (JobGraph, Node, evaluate_synthesis,
+                               expand_request)
+from repro.service.requests import ServiceRequest, parse_request
+from repro.service.store import ResultStore
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = ["SchedulerError", "ServiceScheduler"]
+
+
+class SchedulerError(RuntimeError):
+    """Internal scheduler failure (e.g. a drain that never converges)."""
+
+
+@dataclass
+class _RequestState:
+    request_id: str
+    request: ServiceRequest
+    graph: JobGraph
+    status: str = "running"        # "running" | "done" | "failed"
+    submitted: float = field(default_factory=time.monotonic)
+
+    def summary(self) -> dict:
+        return {"request_id": self.request_id,
+                "kind": self.request.kind,
+                "status": self.status,
+                "nodes": self.graph.counts()}
+
+
+class ServiceScheduler:
+    """Schedule request DAGs onto one worker pool (see module docstring).
+
+    Drive it either with :meth:`start`/:meth:`stop` (a background
+    scheduling thread, as the daemon does) or synchronously with
+    :meth:`drain` (tests, one-shot embedding). Never both at once.
+    """
+
+    def __init__(self, slots: Optional[int] = None,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 use_cache: bool = True,
+                 store: Optional[ResultStore] = None,
+                 telemetry: Optional[ServiceTelemetry] = None) -> None:
+        self.manifest = RunManifest(meta={"service": True})
+        self.executor = JobExecutor(slots, timeout, retries,
+                                    manifest=self.manifest)
+        self.store = store if store is not None \
+            else ResultStore(use_disk=use_cache)
+        self.telemetry = telemetry if telemetry is not None \
+            else ServiceTelemetry()
+        self._lock = threading.RLock()
+        self._wake = threading.Event()
+        self._stopping = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._requests: Dict[str, _RequestState] = {}
+        self._queues: Dict[str, Deque[Node]] = {}
+        self._in_use: Dict[str, int] = {}
+        self._running_owner: Dict[str, str] = {}   # job key -> dispatcher
+        self._seq = 0
+
+    # -- submission (any thread) ------------------------------------------
+
+    def submit_request(self, doc: dict) -> dict:
+        """Parse, expand, claim, and enqueue one request document.
+
+        Raises :class:`~repro.service.requests.RequestError` on a
+        malformed document; returns the acceptance response.
+        """
+        request = parse_request(doc)
+        graph = expand_request(request)
+        with self._lock:
+            self._seq += 1
+            request_id = f"r{self._seq:04d}-{request.signature}"
+            state = _RequestState(request_id, request, graph)
+            self._requests[request_id] = state
+            self._queues[request_id] = deque()
+            self._in_use[request_id] = 0
+            leaves = graph.leaves()
+            self.telemetry.request_event(request_id, request.kind,
+                                         "accepted", jobs=len(leaves))
+            for node in leaves:
+                self._claim_leaf(request_id, node)
+            self._advance(state)
+            response = {
+                "request_id": request_id,
+                "status": state.status,
+                "kind": request.kind,
+                "jobs": len(leaves),
+                "nodes": len(graph.nodes),
+                "counts": graph.counts(),
+            }
+        self._wake.set()
+        return response
+
+    def _claim_leaf(self, request_id: str, node: Node) -> None:
+        status, payload = self.store.claim(node.key, (request_id, node.key))
+        if status == "hit":
+            node.state = "done"
+            node.cache_hit = True
+            self.telemetry.job_event(node.key, "cache_hit", request_id)
+        elif status == "wait":
+            # another request's claim is already executing this key:
+            # join as a waiter, do not queue a second execution
+            node.state = "queued"
+            self.telemetry.job_event(node.key, "dedup", request_id)
+        else:
+            node.state = "queued"
+            self._queues[request_id].append(node)
+            self.telemetry.job_event(node.key, "queued", request_id)
+
+    # -- dispatch and work stealing ---------------------------------------
+
+    def _pick(self) -> Optional[Tuple[str, Node, Optional[str]]]:
+        """Choose the next (dispatcher, node, stolen_from) to launch."""
+        active = [rid for rid, st in self._requests.items()
+                  if st.status == "running"]
+        if not active:
+            return None
+        share = max(1, ceil(self.executor.slots / len(active)))
+        for rid in active:
+            if self._in_use[rid] < share and self._queues[rid]:
+                return rid, self._queues[rid].popleft(), None
+        victims = sorted((rid for rid in active if self._queues[rid]),
+                         key=lambda rid: -len(self._queues[rid]))
+        if not victims:
+            return None
+        thief = next((rid for rid in active
+                      if self._in_use[rid] < share
+                      and not self._queues[rid]), None)
+        if thief is not None:
+            # steal from the tail of the longest queue
+            return thief, self._queues[victims[0]].pop(), victims[0]
+        # every request is at its share: plain FIFO from the longest queue
+        return victims[0], self._queues[victims[0]].popleft(), None
+
+    def _dispatch(self) -> None:
+        while self.executor.free_slots > 0:
+            pick = self._pick()
+            if pick is None:
+                return
+            rid, node, victim = pick
+            node.state = "running"
+            self._running_owner[node.key] = rid
+            self._in_use[rid] += 1
+            self.executor.submit(node.job)
+            if victim is not None:
+                self.telemetry.job_event(node.key, "steal",
+                                         request_id=victim, thief=rid)
+
+    # -- executor event handling ------------------------------------------
+
+    def _handle_event(self, event: JobEvent) -> None:
+        key = event.job.key
+        owner = self._running_owner.get(key, "")
+        if event.kind == "started":
+            self.telemetry.job_event(key, "started", owner,
+                                     attempt=event.attempts)
+            return
+        if event.kind == "retry":
+            self.telemetry.job_event(key, "retry", owner,
+                                     attempt=event.attempts,
+                                     error=_last_line(event.error))
+            return
+
+        # terminal outcomes release the dispatcher's slot accounting
+        self._running_owner.pop(key, None)
+        if owner in self._in_use:
+            self._in_use[owner] = max(0, self._in_use[owner] - 1)
+
+        if event.kind == "ok":
+            waiters = self.store.complete(key, event.payload, leaf=True)
+            self.manifest.record_job(event.job, "ok",
+                                     wall_time=event.wall_time,
+                                     attempts=event.attempts,
+                                     result_payload=event.payload)
+            self.telemetry.job_event(
+                key, "ok", owner, attempts=event.attempts,
+                duration_s=round(event.wall_time, 4))
+            for request_id, node_key in waiters:
+                state = self._requests.get(request_id)
+                if state is None:
+                    continue
+                node = state.graph.nodes.get(node_key)
+                if node is not None and not node.terminal:
+                    node.state = "done"
+                self._advance(state)
+        else:                                   # "failed" | "timeout"
+            waiters = self.store.fail(key)
+            self.manifest.record_job(event.job, event.kind,
+                                     wall_time=event.wall_time,
+                                     attempts=event.attempts,
+                                     error=event.error)
+            self.telemetry.job_event(key, event.kind, owner,
+                                     attempts=event.attempts,
+                                     error=_last_line(event.error))
+            for request_id, node_key in waiters:
+                state = self._requests.get(request_id)
+                if state is None:
+                    continue
+                node = state.graph.nodes.get(node_key)
+                if node is not None and not node.terminal:
+                    node.state = "failed"
+                    node.error = _last_line(event.error)
+                self._poison_from(state, node_key)
+                self._advance(state)
+
+    def _poison_from(self, state: _RequestState, key: str) -> None:
+        for node in state.graph.poison(key):
+            self.telemetry.job_event(node.key, "poisoned",
+                                     state.request_id)
+
+    def _advance(self, state: _RequestState) -> None:
+        """Evaluate newly ready synthesis nodes and settle the request."""
+        graph = state.graph
+        progressed = True
+        while progressed:
+            progressed = False
+            for node in graph.ready_syntheses():
+                progressed = True
+                payload = self.store.get(node.key)
+                if payload is None:
+                    try:
+                        payload = evaluate_synthesis(node, graph,
+                                                     self.store.get)
+                    except Exception as exc:
+                        node.state = "failed"
+                        node.error = str(exc)
+                        self.telemetry.job_event(node.key, "failed",
+                                                 state.request_id,
+                                                 error=str(exc))
+                        self._poison_from(state, node.key)
+                        continue
+                    self.store.put_synthesis(node.key, payload)
+                node.state = "done"
+                self.telemetry.job_event(node.key, "synthesized",
+                                         state.request_id)
+        if state.status == "running" and graph.terminal:
+            state.status = "failed" if graph.failed else "done"
+            self.telemetry.request_event(state.request_id,
+                                         state.request.kind, state.status,
+                                         jobs=len(graph.leaves()))
+
+    # -- scheduling passes ------------------------------------------------
+
+    def _pass(self, wait: float = 0.05) -> bool:
+        """One scheduling pass; returns True when anything happened."""
+        with self._lock:
+            self._dispatch()
+        events = self.executor.step(wait)
+        if events:
+            with self._lock:
+                for event in events:
+                    self._handle_event(event)
+                self._dispatch()
+        return bool(events)
+
+    def drain(self, timeout: float = 300.0) -> None:
+        """Run scheduling passes inline until every request is terminal.
+
+        Only valid when no scheduling thread is running (tests,
+        one-shot embeddings).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if all(st.status != "running"
+                       for st in self._requests.values()):
+                    return
+            self._pass(0.02)
+            if time.monotonic() > deadline:
+                raise SchedulerError(
+                    f"drain did not converge within {timeout:g}s")
+
+    def _thread_main(self) -> None:
+        while not self._stopping.is_set():
+            busy = self._pass(0.05)
+            if busy:
+                continue
+            with self._lock:
+                idle = self.executor.idle and not any(
+                    self._queues.values())
+            if idle:
+                # nothing running and nothing queued: sleep until a
+                # submission (or stop) wakes us — no busy-polling
+                self._wake.wait(0.5)
+                self._wake.clear()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stopping.clear()
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="repro-scheduler",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stopping.set()
+        self._wake.set()
+        self._thread.join()
+        self._thread = None
+        self.executor.shutdown()
+
+    # -- snapshots (any thread) -------------------------------------------
+
+    def request_status(self, request_id: str) -> Optional[dict]:
+        """Full request detail, or ``None`` for an unknown id."""
+        with self._lock:
+            state = self._requests.get(request_id)
+            if state is None:
+                return None
+            graph = state.graph
+            out = state.summary()
+            out["nodes_detail"] = [node.snapshot()
+                                   for node in graph.nodes.values()]
+            results = {}
+            for root in graph.roots():
+                if root.state == "done":
+                    payload = self.store.get(root.key)
+                    if payload is not None:
+                        results[root.label] = {"key": root.key,
+                                               "payload": payload}
+            out["results"] = results
+            return out
+
+    def snapshot_jobs(self) -> dict:
+        """Every node of every request, plus executor/store counters."""
+        with self._lock:
+            jobs: List[dict] = []
+            for state in self._requests.values():
+                for node in state.graph.nodes.values():
+                    snap = node.snapshot()
+                    snap["request_id"] = state.request_id
+                    jobs.append(snap)
+            return {
+                "jobs": jobs,
+                "executor": {"slots": self.executor.slots,
+                             "pending": self.executor.pending_count,
+                             "active": self.executor.active_count},
+                "store": self.store.stats(),
+            }
+
+    def overview(self) -> dict:
+        with self._lock:
+            return {
+                "requests": [state.summary()
+                             for state in self._requests.values()],
+                "executor": {"slots": self.executor.slots,
+                             "pending": self.executor.pending_count,
+                             "active": self.executor.active_count},
+                "store": self.store.stats(),
+                "telemetry": self.telemetry.counts(),
+            }
+
+
+def _last_line(text: Optional[str]) -> str:
+    if not text or not text.strip():
+        return ""
+    return text.strip().splitlines()[-1]

@@ -1,0 +1,135 @@
+"""Content-addressed result store with in-flight single-flight dedup.
+
+The store is the service's one source of result truth, layered over the
+existing crash-safe harness cache:
+
+* **Leaf simulation payloads** live on disk in the harness cache —
+  written through :func:`harness.commit_payload`, i.e. the exact same
+  atomic, canonical-JSON entries a direct ``Runner.run()`` or
+  ``run_cached()`` of the same job would produce (byte-identical by
+  construction). Corrupt entries are treated as misses, mirroring the
+  runner's recovery behaviour.
+* **Synthesis payloads** are cheap derived documents and live in
+  memory, keyed by their derived content address; they are re-derived
+  on daemon restart rather than persisted.
+
+Single-flight: the first claimant of a missing key becomes the
+**leader** (it must execute the job and later call :meth:`complete` or
+:meth:`fail`); concurrent claimants of the same key become **waiters**
+and are handed the leader's outcome — one execution, many waiters, even
+across unrelated requests submitted by different clients.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import harness
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Thread-safe content-addressed result store (see module docstring).
+
+    ``use_disk=False`` keeps leaf payloads in memory only (the runner's
+    ``use_cache=False`` analogue for a cache-bypassing daemon).
+    """
+
+    def __init__(self, use_disk: bool = True) -> None:
+        self.use_disk = use_disk
+        self._lock = threading.Lock()
+        self._mem: Dict[str, dict] = {}          # every payload seen
+        self._inflight: Dict[str, List[object]] = {}
+        # counters surfaced on /healthz and asserted by tests
+        self.hits = 0
+        self.misses = 0
+        self.dedups = 0
+        self.corrupt = 0
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The payload at ``key``, or ``None`` (no stats side effects)."""
+        with self._lock:
+            payload = self._mem.get(key)
+        if payload is not None or not self.use_disk:
+            return payload
+        payload, _corrupt = harness.probe_payload(key)
+        if payload is not None:
+            with self._lock:
+                self._mem.setdefault(key, payload)
+        return payload
+
+    # -- single-flight claims ---------------------------------------------
+
+    def claim(self, key: str, waiter: object) -> Tuple[str, Optional[dict]]:
+        """Claim ``key`` on behalf of ``waiter``.
+
+        Returns one of:
+
+        * ``("hit", payload)`` — already stored; nothing to execute.
+        * ``("leader", None)`` — ``waiter`` owns the one execution and
+          must eventually :meth:`complete` or :meth:`fail` the key.
+        * ``("wait", None)`` — another claimant is already executing;
+          ``waiter`` was appended to the key's waiter list.
+        """
+        with self._lock:
+            payload = self._mem.get(key)
+            if payload is not None:
+                self.hits += 1
+                return "hit", payload
+            if key in self._inflight:
+                self._inflight[key].append(waiter)
+                self.dedups += 1
+                return "wait", None
+        if self.use_disk:
+            payload, corrupt = harness.probe_payload(key)
+            if corrupt:
+                with self._lock:
+                    self.corrupt += 1
+            if payload is not None:
+                with self._lock:
+                    self._mem.setdefault(key, payload)
+                    self.hits += 1
+                return "hit", payload
+        with self._lock:
+            # re-check: another thread may have claimed during the probe
+            if key in self._inflight:
+                self._inflight[key].append(waiter)
+                self.dedups += 1
+                return "wait", None
+            self._inflight[key] = [waiter]
+            self.misses += 1
+            return "leader", None
+
+    def complete(self, key: str, payload: dict,
+                 leaf: bool = True) -> List[object]:
+        """Commit ``payload`` for ``key``; returns the waiter list (the
+        leader first) so the caller can notify every claimant."""
+        if leaf and self.use_disk:
+            harness.commit_payload(key, payload)
+        with self._lock:
+            self._mem[key] = payload
+            return self._inflight.pop(key, [])
+
+    def fail(self, key: str) -> List[object]:
+        """Release an in-flight key after a terminal failure; returns
+        the waiter list. Nothing is stored — a later claim re-executes."""
+        with self._lock:
+            return self._inflight.pop(key, [])
+
+    def put_synthesis(self, key: str, payload: dict) -> None:
+        """Store a synthesis payload (in-memory content address)."""
+        with self._lock:
+            self._mem[key] = payload
+
+    # -- stats ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "dedups": self.dedups, "corrupt": self.corrupt,
+                    "inflight": len(self._inflight),
+                    "stored": len(self._mem)}

@@ -1,0 +1,95 @@
+"""Service telemetry: the PR-4 JSONL metric schema as a live feed.
+
+Every accepted request and every job state transition (queued, started,
+cache hit, in-flight dedup, steal, retry, terminal outcome, synthesis,
+poisoning) is validated against :data:`repro.obs.metrics.METRIC_KINDS`
+(``service_request`` / ``service_job`` kinds), appended to a bounded
+in-memory ring served by the daemon's ``/metrics`` endpoint, and
+mirrored to the ambient :class:`~repro.obs.metrics.MetricStream` when
+one is installed (``repro serve --emit-metrics PATH``) — so the same
+records are available live over HTTP and durably as JSONL.
+
+Each buffered record carries a monotonically increasing ``seq`` field
+(an allowed extra field under the schema) so pollers can resume with
+``/metrics?since=<seq>`` without re-reading the ring.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.metrics import (METRIC_SCHEMA_VERSION, current_metric_stream,
+                               validate_metric_record)
+
+__all__ = ["ServiceTelemetry"]
+
+
+class ServiceTelemetry:
+    """Thread-safe bounded buffer of validated service metric records."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        self._lock = threading.Lock()
+        self._records: Deque[dict] = deque(maxlen=max(1, capacity))
+        self._seq = 0
+        self._counts: Dict[str, int] = {}
+
+    def _emit(self, kind: str, **fields) -> dict:
+        record = {"schema": METRIC_SCHEMA_VERSION, "kind": kind, **fields}
+        validate_metric_record(record)
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._records.append(record)
+            event = record.get("event", "")
+            label = f"{kind}.{event}" if event else kind
+            self._counts[label] = self._counts.get(label, 0) + 1
+            # mirrored under the lock: MetricStream is not itself
+            # thread-safe and both the scheduler thread and the daemon's
+            # submit handlers emit here
+            stream = current_metric_stream()
+            if stream is not None:
+                stream.emit(kind, **{k: v for k, v in record.items()
+                                     if k not in ("schema", "kind")})
+        return record
+
+    # -- producers --------------------------------------------------------
+
+    def request_event(self, request_id: str, request_kind: str, event: str,
+                      jobs: int, **extra) -> dict:
+        """One request lifecycle transition: accepted / done / failed."""
+        return self._emit("service_request", request_id=request_id,
+                          request_kind=request_kind, event=event,
+                          jobs=jobs, **extra)
+
+    def job_event(self, key: str, event: str, request_id: str = "",
+                  **extra) -> dict:
+        """One job/DAG-node state transition, keyed by content address."""
+        return self._emit("service_job", key=key, event=event,
+                          request_id=request_id, **extra)
+
+    # -- consumers --------------------------------------------------------
+
+    def records(self, kind: Optional[str] = None,
+                since: int = 0) -> List[dict]:
+        """Buffered records, oldest first, optionally filtered by kind
+        and by ``seq > since``."""
+        with self._lock:
+            out = list(self._records)
+        if kind:
+            out = [r for r in out if r["kind"] == kind]
+        if since:
+            out = [r for r in out if r["seq"] > since]
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        """``{"<kind>.<event>": n}`` totals since daemon start (not
+        bounded by the ring capacity)."""
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def seq(self) -> int:
+        with self._lock:
+            return self._seq

@@ -35,6 +35,10 @@ def good_record(kind="result", **overrides):
         "cpi_stack": dict(workload="leela", config="abc", width=8,
                           cycles=500, instructions=1000,
                           slots={"base": 1000, "backend_rob": 3000}),
+        "service_request": dict(request_id="r0001-abc", request_kind="sweep",
+                                event="accepted", jobs=4),
+        "service_job": dict(key="v3-leela-400-400-1234-abc", event="started",
+                            request_id="r0001-abc"),
     }[kind]
     base.update(overrides)
     return {"schema": METRIC_SCHEMA_VERSION, "kind": kind, **base}

@@ -13,6 +13,7 @@ import pytest
 from repro.analysis import harness
 from repro.analysis.runner import (
     Job,
+    JobExecutor,
     RunManifest,
     Runner,
     RunnerError,
@@ -134,6 +135,39 @@ class TestFailureHandling:
                    if e["kind"] == "retry"]
         assert len(retries) == 1
 
+    def test_timeout_retry_fail_leaves_cache_empty(self, tmp_path,
+                                                   monkeypatch):
+        cache_to(monkeypatch, tmp_path)
+        job = Job("leela", small_core_config(), 300_000, 300_000)
+        runner = Runner(jobs=1, timeout=0.1, retries=2, progress=False)
+        runner.run([job], strict=False)
+        [entry] = runner.manifest.jobs
+        assert entry["status"] == "timeout"
+        assert entry["attempts"] == 3          # initial + two retries
+        retries = [e for e in runner.manifest.events
+                   if e["kind"] == "retry"]
+        assert [e["attempt"] for e in retries] == [1, 2]
+        assert all(e["key"] == job.key for e in retries)
+        assert all(e["status"] == "timeout" for e in retries)
+        # a job that never succeeded must never write a cache entry
+        assert not list(tmp_path.iterdir())
+
+    def test_retry_reenqueues_at_tail(self, tmp_path, monkeypatch):
+        """A retried job waits behind everything already queued: with one
+        slot, the bad job's retry runs after the good job, so the good
+        result lands in the manifest first."""
+        cache_to(monkeypatch, tmp_path)
+        bad = Job("no-such-workload", small_core_config(), WARMUP, MEASURE)
+        good = Job("xz", small_core_config(), WARMUP, MEASURE)
+        runner = Runner(jobs=1, retries=1, progress=False)
+        results = runner.run([bad, good], strict=False)
+        assert len(results) == 1
+        order = [(e["workload"], e["status"])
+                 for e in runner.manifest.jobs]
+        assert order == [("xz", "ok"), ("no-such-workload", "failed")]
+        bad_entry = runner.manifest.jobs[1]
+        assert bad_entry["attempts"] == 2
+
     def test_strict_mode_raises_after_campaign(self, tmp_path, monkeypatch):
         cache_to(monkeypatch, tmp_path)
         bad = Job("no-such-workload", small_core_config(), WARMUP, MEASURE)
@@ -191,6 +225,23 @@ class TestScheduling:
         assert current_runner() is not runner
 
 
+class TestExecutor:
+    def test_submit_step_event_sequence(self, tmp_path, monkeypatch):
+        cache_to(monkeypatch, tmp_path)
+        job = make_job("xz", small_core_config(), WARMUP, MEASURE)
+        with JobExecutor(slots=1) as executor:
+            assert executor.idle and executor.free_slots == 1
+            executor.submit(job)
+            assert executor.pending_count == 1 and executor.free_slots == 0
+            events = []
+            while not executor.idle:
+                events.extend(executor.step())
+        assert [e.kind for e in events] == ["started", "ok"]
+        assert events[-1].attempts == 1
+        assert events[-1].payload["workload"] == "xz"
+        assert events[-1].wall_time > 0
+
+
 class TestManifest:
     def test_manifest_saves_valid_json(self, tmp_path, monkeypatch):
         cache_to(monkeypatch, tmp_path / "cache")
@@ -206,3 +257,11 @@ class TestManifest:
         assert entry["status"] == "ok"
         assert entry["wall_time_s"] >= 0
         assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_save_failure_leaves_no_tmp_file(self, tmp_path):
+        manifest = RunManifest(meta={"unserialisable": object()})
+        target = tmp_path / "manifest.json"
+        with pytest.raises(TypeError):
+            manifest.save(target)
+        assert not target.exists()
+        assert not list(tmp_path.iterdir())   # the temp file was unlinked

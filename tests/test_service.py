@@ -1,0 +1,411 @@
+"""Tests for the ``repro serve`` service layer: request parsing, DAG
+expansion, the content-addressed single-flight store, DAG scheduling
+with failure poisoning, and the HTTP daemon end to end.
+
+The acceptance properties from the service design are asserted here:
+
+* two concurrent overlapping submissions execute each shared job exactly
+  once (single-flight dedup, checked via manifest and telemetry);
+* service results are byte-identical to a direct ``Runner.run()`` of the
+  same jobs (same cache-entry bytes);
+* a mid-DAG failure poisons only its transitive dependents while
+  independent branches complete.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import harness
+from repro.analysis.runner import Runner, make_job
+from repro.common.config import small_core_config
+from repro.obs.metrics import validate_metric_record
+from repro.service import (
+    RequestError,
+    ResultStore,
+    ServiceClient,
+    ServiceError,
+    ServiceScheduler,
+    build_service,
+    config_from_spec,
+    expand_request,
+    parse_request,
+)
+
+WARMUP, MEASURE = 400, 400
+
+
+def cache_to(monkeypatch, path):
+    path.mkdir(parents=True, exist_ok=True)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(path))
+    return path
+
+
+def compare_doc(workloads, warmup=WARMUP, measure=MEASURE):
+    return {"kind": "compare", "workloads": list(workloads),
+            "warmup": warmup, "measure": measure}
+
+
+def sweep_doc(workloads, warmup=WARMUP, measure=MEASURE):
+    return {"kind": "sweep", "workloads": list(workloads),
+            "configs": [{"name": "base", "config": {}}],
+            "warmup": warmup, "measure": measure}
+
+
+def make_scheduler(slots=2, **kwargs):
+    return ServiceScheduler(slots=slots, **kwargs)
+
+
+# --------------------------------------------------------------------------
+# Requests
+# --------------------------------------------------------------------------
+
+class TestRequests:
+    def test_config_from_spec_defaults(self):
+        assert config_from_spec({}) == small_core_config()
+        assert config_from_spec(None) == small_core_config()
+        assert config_from_spec({"apf": {}}) == small_core_config().with_apf(
+            pipeline_depth=13, num_buffers=4, buffer_capacity_uops=104,
+            tage_banks=4, use_tage_confidence=True)
+
+    def test_config_from_spec_depth_scales_buffer_capacity(self):
+        cfg = config_from_spec({"apf": {"depth": 5}})
+        assert cfg.apf.pipeline_depth == 5
+        assert cfg.apf.buffer_capacity_uops == 40
+
+    def test_config_from_spec_dpip(self):
+        cfg = config_from_spec({"apf": {"mode": "dpip"}})
+        assert cfg.apf.num_buffers == 0
+
+    @pytest.mark.parametrize("spec", [
+        {"scale": "huge"},
+        {"predictor": "oracle"},
+        {"unknown_field": 1},
+        {"apf": {"depth": 13, "bogus": True}},
+        {"apf": {"scheme": "psychic"}},
+        {"apf": {"tage_banks": 3}},
+    ])
+    def test_config_from_spec_rejects_bad_specs(self, spec):
+        with pytest.raises(RequestError):
+            config_from_spec(spec)
+
+    def test_parse_compare_fills_defaults(self):
+        request = parse_request(compare_doc(["xz"]))
+        assert request.kind == "compare"
+        assert request.workloads == ("xz",)
+        assert request.seed == 1234
+        assert request.doc["base"] == {}
+        assert request.doc["test"] == {"apf": {}}
+
+    def test_signature_stable_under_omitted_defaults(self):
+        implicit = parse_request(compare_doc(["xz"]))
+        explicit = parse_request({**compare_doc(["xz"]), "seed": 1234,
+                                  "base": {}, "test": {"apf": {}},
+                                  "sampling": None})
+        assert implicit.signature == explicit.signature
+
+    @pytest.mark.parametrize("doc", [
+        {"kind": "destroy"},
+        {"kind": "run"},                                  # no workload
+        {"kind": "compare", "workloads": []},
+        {"kind": "compare", "workloads": ["xz"], "test": {}},  # base == test
+        {"kind": "compare", "workloads": ["xz"], "warmup": "soon"},
+        {"kind": "compare", "workloads": ["xz"], "surprise": 1},
+        {"kind": "compare", "workloads": ["xz"], "sampling": "bogus!!"},
+        {"kind": "sweep", "workloads": ["xz"], "configs": []},
+        {"kind": "sweep", "workloads": ["xz"],
+         "configs": [{"name": "a", "config": {}},
+                     {"name": "a", "config": {"apf": {}}}]},
+        "not an object",
+    ])
+    def test_malformed_documents_rejected(self, doc):
+        with pytest.raises(RequestError):
+            parse_request(doc)
+
+
+# --------------------------------------------------------------------------
+# DAG expansion and poisoning
+# --------------------------------------------------------------------------
+
+class TestExpand:
+    def test_run_request_is_one_leaf(self):
+        graph = expand_request(parse_request(
+            {"kind": "run", "workload": "xz",
+             "warmup": WARMUP, "measure": MEASURE}))
+        [node] = graph.nodes.values()
+        assert node.kind == "simulate"
+        expected = make_job("xz", small_core_config(), WARMUP, MEASURE)
+        assert node.key == expected.key
+
+    def test_compare_structure_and_content_addresses(self):
+        graph = expand_request(parse_request(compare_doc(["xz", "leela"])))
+        leaves = graph.leaves()
+        synths = [n for n in graph.nodes.values() if n.kind == "synthesize"]
+        assert len(graph.nodes) == 7          # 4 leaves + 2 deltas + geomean
+        assert len(leaves) == 4
+        # leaf keys are exactly the runner/cache content addresses
+        base_cfg = config_from_spec({})
+        assert make_job("xz", base_cfg, WARMUP, MEASURE).key \
+            in {n.key for n in leaves}
+        [summary] = [n for n in synths if n.synth == "compare_summary"]
+        assert [n.key for n in graph.roots()] == [summary.key]
+        deltas = [n for n in synths if n.synth == "compare_delta"]
+        assert summary.deps == [d.key for d in deltas]
+
+    def test_sweep_structure(self):
+        doc = {"kind": "sweep", "workloads": ["xz", "leela"],
+               "configs": [{"name": "base", "config": {}},
+                           {"name": "d13", "config": {"apf": {}}}],
+               "warmup": WARMUP, "measure": MEASURE}
+        graph = expand_request(parse_request(doc))
+        assert len(graph.leaves()) == 4
+        synths = {n.synth for n in graph.nodes.values()
+                  if n.kind == "synthesize"}
+        assert synths == {"config_summary", "sweep_summary"}
+        assert len(graph.nodes) == 7
+
+    def test_poison_spares_independent_branches(self):
+        graph = expand_request(parse_request(compare_doc(["xz", "leela"])))
+        xz_base = next(n for n in graph.leaves() if n.label == "xz/base")
+        xz_base.state = "failed"
+        poisoned = graph.poison(xz_base.key)
+        labels = sorted(n.label for n in poisoned)
+        assert labels == ["geomean", "xz/delta"]
+        untouched = [n for n in graph.nodes.values()
+                     if n.label.startswith("leela")]
+        assert all(n.state == "pending" for n in untouched)
+        assert all(n.state == "poisoned" for n in poisoned)
+
+
+# --------------------------------------------------------------------------
+# Result store
+# --------------------------------------------------------------------------
+
+class TestResultStore:
+    def test_single_flight_claims(self):
+        store = ResultStore(use_disk=False)
+        assert store.claim("k", "leader") == ("leader", None)
+        assert store.claim("k", "w1") == ("wait", None)
+        assert store.claim("k", "w2") == ("wait", None)
+        waiters = store.complete("k", {"x": 1}, leaf=False)
+        assert waiters == ["leader", "w1", "w2"]
+        assert store.get("k") == {"x": 1}
+        assert store.claim("k", "late") == ("hit", {"x": 1})
+        assert store.stats()["dedups"] == 2
+        assert store.stats()["inflight"] == 0
+
+    def test_fail_releases_key_for_reexecution(self):
+        store = ResultStore(use_disk=False)
+        store.claim("k", "leader")
+        store.claim("k", "w1")
+        assert store.fail("k") == ["leader", "w1"]
+        assert store.get("k") is None
+        assert store.claim("k", "again") == ("leader", None)
+
+    def test_leaf_completion_writes_harness_cache(self, tmp_path,
+                                                  monkeypatch):
+        cache_to(monkeypatch, tmp_path)
+        store = ResultStore(use_disk=True)
+        payload = {"workload": "xz", "ipc": 1.0}
+        store.claim("some-key", "leader")
+        store.complete("some-key", payload, leaf=True)
+        on_disk, corrupt = harness.probe_payload("some-key")
+        assert (on_disk, corrupt) == (payload, False)
+        # a fresh store (daemon restart) finds it as a disk hit
+        assert ResultStore(use_disk=True).claim("some-key", "x") \
+            == ("hit", payload)
+
+
+# --------------------------------------------------------------------------
+# Scheduler (inline drain)
+# --------------------------------------------------------------------------
+
+class TestScheduler:
+    def test_results_byte_identical_to_direct_runner(self, tmp_path,
+                                                     monkeypatch):
+        base_cfg = config_from_spec({})
+        test_cfg = config_from_spec({"apf": {}})
+        jobs = [make_job(name, cfg, WARMUP, MEASURE)
+                for name in ("xz", "leela")
+                for cfg in (base_cfg, test_cfg)]
+
+        direct_dir = cache_to(monkeypatch, tmp_path / "direct")
+        Runner(jobs=2, progress=False).run(jobs)
+
+        service_dir = cache_to(monkeypatch, tmp_path / "service")
+        scheduler = make_scheduler()
+        try:
+            response = scheduler.submit_request(compare_doc(["xz", "leela"]))
+            scheduler.drain()
+        finally:
+            scheduler.executor.shutdown()
+        detail = scheduler.request_status(response["request_id"])
+        assert detail["status"] == "done"
+
+        direct_files = sorted(p.name for p in direct_dir.glob("*.json"))
+        service_files = sorted(p.name for p in service_dir.glob("*.json"))
+        assert direct_files == service_files == sorted(
+            f"{job.key}.json" for job in jobs)
+        for name in direct_files:
+            assert (direct_dir / name).read_bytes() \
+                == (service_dir / name).read_bytes()
+
+        geomean = detail["results"]["geomean"]["payload"]
+        assert geomean["synth"] == "compare_summary"
+        assert set(geomean["speedups"]) == {"xz", "leela"}
+
+    def test_overlapping_requests_share_executions(self, tmp_path,
+                                                   monkeypatch):
+        cache_to(monkeypatch, tmp_path)
+        scheduler = make_scheduler()
+        try:
+            first = scheduler.submit_request(sweep_doc(["xz", "leela"]))
+            second = scheduler.submit_request(sweep_doc(["leela", "tc"]))
+            scheduler.drain()
+        finally:
+            scheduler.executor.shutdown()
+        for response in (first, second):
+            detail = scheduler.request_status(response["request_id"])
+            assert detail["status"] == "done"
+
+        # the shared leela/base job was simulated exactly once: one
+        # manifest entry per unique key, and one "started" telemetry
+        # record per key
+        keys = [e["key"] for e in scheduler.manifest.jobs]
+        assert len(keys) == len(set(keys)) == 3
+        started = [r["key"] for r in scheduler.telemetry.records(
+            kind="service_job") if r["event"] == "started"]
+        assert sorted(started) == sorted(set(keys))
+        assert scheduler.telemetry.counts()["service_job.dedup"] == 1
+        assert scheduler.store.stats()["dedups"] == 1
+
+    def test_failure_poisons_only_dependents(self, tmp_path, monkeypatch):
+        cache_to(monkeypatch, tmp_path)
+        scheduler = make_scheduler(retries=0)
+        try:
+            response = scheduler.submit_request(
+                compare_doc(["xz", "no-such-workload"]))
+            scheduler.drain()
+        finally:
+            scheduler.executor.shutdown()
+        detail = scheduler.request_status(response["request_id"])
+        assert detail["status"] == "failed"
+        states = {n["label"]: n["state"] for n in detail["nodes_detail"]}
+        assert states["xz/base"] == "done"
+        assert states["xz/test"] == "done"
+        assert states["xz/delta"] == "done"      # independent branch lives
+        assert states["no-such-workload/base"] == "failed"
+        assert states["no-such-workload/test"] == "failed"
+        assert states["no-such-workload/delta"] == "poisoned"
+        assert states["geomean"] == "poisoned"
+        errors = {n["label"]: n.get("error", "")
+                  for n in detail["nodes_detail"]}
+        assert "dependency failed" in errors["geomean"]
+
+    def test_resubmission_served_from_cache(self, tmp_path, monkeypatch):
+        cache_to(monkeypatch, tmp_path)
+        scheduler = make_scheduler()
+        try:
+            scheduler.submit_request(compare_doc(["xz"]))
+            scheduler.drain()
+            again = scheduler.submit_request(compare_doc(["xz"]))
+        finally:
+            scheduler.executor.shutdown()
+        # every leaf hit the store: the request completed at submit time
+        assert again["status"] == "done"
+        counts = scheduler.telemetry.counts()
+        assert counts["service_job.cache_hit"] == 2
+        assert counts["service_job.started"] == 2   # from the first pass
+
+
+# --------------------------------------------------------------------------
+# HTTP daemon end to end
+# --------------------------------------------------------------------------
+
+@pytest.fixture
+def service(tmp_path, monkeypatch):
+    cache_to(monkeypatch, tmp_path / "cache")
+    svc = build_service(jobs=2, port=0)
+    url = svc.start()
+    client = ServiceClient(url, timeout=10)
+    client.wait_healthy()
+    yield svc, client
+    svc.stop()
+
+
+class TestDaemon:
+    def test_concurrent_overlapping_sweeps_end_to_end(
+            self, service, tmp_path, monkeypatch):
+        svc, client = service
+        docs = [sweep_doc(["xz", "leela"]), sweep_doc(["leela", "tc"])]
+        responses = [None, None]
+
+        def submit(i):
+            responses[i] = client.submit(docs[i])
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        details = [client.wait(r["request_id"], timeout=120)
+                   for r in responses]
+        assert all(d["status"] == "done" for d in details)
+
+        # each shared job simulated exactly once across both requests
+        metrics = client.metrics(kind="service_job")
+        started = [r["key"] for r in metrics["records"]
+                   if r["event"] == "started"]
+        assert len(started) == len(set(started)) == 3
+
+        # every buffered record round-trips the JSONL metric schema
+        for record in client.metrics()["records"]:
+            validate_metric_record(record)
+
+        # payloads byte-identical to a direct Runner.run of the same jobs
+        direct_dir = cache_to(monkeypatch, tmp_path / "direct")
+        cfg = config_from_spec({})
+        jobs = [make_job(name, cfg, WARMUP, MEASURE)
+                for name in ("xz", "leela", "tc")]
+        Runner(jobs=2, progress=False).run(jobs)
+        service_dir = tmp_path / "cache"
+        for job in jobs:
+            assert (direct_dir / f"{job.key}.json").read_bytes() \
+                == (service_dir / f"{job.key}.json").read_bytes()
+            served = client.result(job.key)["payload"]
+            assert harness.payload_bytes(served) \
+                == harness.payload_bytes(
+                    harness.probe_payload(job.key)[0])
+
+    def test_resubmit_is_all_cache_hits(self, service):
+        svc, client = service
+        first = client.submit(compare_doc(["xz"]))
+        assert client.wait(first["request_id"],
+                           timeout=120)["status"] == "done"
+        before = client.metrics()["counts"]
+        second = client.submit(compare_doc(["xz"]))
+        detail = client.wait(second["request_id"], timeout=30)
+        assert detail["status"] == "done"
+        after = client.metrics()["counts"]
+        assert after["service_job.cache_hit"] \
+            == before.get("service_job.cache_hit", 0) + 2
+        assert after["service_job.started"] == before["service_job.started"]
+
+    def test_http_error_paths(self, service):
+        svc, client = service
+        with pytest.raises(ServiceError) as err:
+            client.submit({"kind": "destroy"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.status("r9999-nope")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.result("bad!key")
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.result("v99-absent-key")
+        assert err.value.status == 404
+        health = client.healthz()
+        assert health["status"] == "ok"
