@@ -54,10 +54,14 @@ class ExecModel:
             "branch": config.alu_latency,
         }
         self._issue_width = config.issue_width
-        # per-FU-class {cycle -> slots used} ; {cycle -> total issued}
-        self._fu_slots: Dict[str, Dict[int, int]] = {
-            fu: {} for fu in self._ports}
-        self._issued: Dict[int, int] = {}
+        # per-FU-class and total issue counts, as grow-on-demand lists
+        # indexed by ``cycle - _base`` (integer-keyed dicts lose to flat
+        # lists on this, the backend's hottest probe loop). ``_base`` is
+        # rebased lazily on the first reservation after construction,
+        # clear() or restore(), so long quiesced gaps cost nothing.
+        self._fu_slots: Dict[str, list] = {fu: [] for fu in self._ports}
+        self._issued: list = []
+        self._base = -1
         self._horizon = 0
 
     @staticmethod
@@ -69,21 +73,51 @@ class ExecModel:
 
     def schedule(self, fu: str, ready_cycle: int) -> int:
         """Reserve the earliest issue slot at/after ``ready_cycle``."""
+        base = self._base
+        if base < 0 or ready_cycle < base:
+            self._rebase(ready_cycle)
+            base = ready_cycle
         slots = self._fu_slots[fu]
         issued = self._issued
-        slots_get = slots.get
-        issued_get = issued.get
         ports = self._ports[fu]
         width = self._issue_width
-        cycle = ready_cycle
-        while (slots_get(cycle, 0) >= ports
-               or issued_get(cycle, 0) >= width):
-            cycle += 1
-        slots[cycle] = slots_get(cycle, 0) + 1
-        issued[cycle] = issued_get(cycle, 0) + 1
+        i = ready_cycle - base
+        n = len(issued)
+        if i >= n:
+            grow = i + 1 - n
+            issued.extend([0] * grow)
+            for lst in self._fu_slots.values():
+                lst.extend([0] * grow)
+            n = i + 1
+        while slots[i] >= ports or issued[i] >= width:
+            i += 1
+            if i >= n:
+                issued.append(0)
+                for lst in self._fu_slots.values():
+                    lst.append(0)
+                n += 1
+        slots[i] += 1
+        issued[i] += 1
+        cycle = base + i
         if cycle > self._horizon:
             self._horizon = cycle
         return cycle
+
+    def _rebase(self, at_cycle: int) -> None:
+        """Re-anchor the arrays so index 0 is ``at_cycle``.
+
+        Fresh/cleared state anchors for free; an earlier-than-base
+        reservation (never happens under the core's trim horizon, but
+        kept correct regardless) prepends zero slack."""
+        base = self._base
+        if base < 0 or not self._issued:
+            self._base = at_cycle
+            return
+        pad = [0] * (base - at_cycle)
+        self._issued[:0] = pad
+        for fu, lst in self._fu_slots.items():
+            lst[:0] = list(pad)
+        self._base = at_cycle
 
     def next_wakeup(self, now: int):
         """Earliest cycle at/after ``now`` this model needs ticking: None.
@@ -103,29 +137,53 @@ class ExecModel:
         squashed, so their future issue slots must be released)."""
         for slots in self._fu_slots.values():
             slots.clear()
-        self._issued = {}
+        self._issued.clear()
+        self._base = -1
         self._horizon = 0
 
     def snapshot(self) -> dict:
+        # externalised as sparse {cycle: count} dicts — the stable format
+        # the loop-equivalence suite compares across driver variants,
+        # independent of the internal array anchoring
+        base = self._base
         return {
-            "fu_slots": {fu: dict(slots)
+            "fu_slots": {fu: {base + i: v for i, v in enumerate(slots) if v}
                          for fu, slots in self._fu_slots.items()},
-            "issued": dict(self._issued),
+            "issued": {base + i: v
+                       for i, v in enumerate(self._issued) if v},
             "horizon": self._horizon,
         }
 
     def restore(self, state: dict) -> None:
-        self._fu_slots = {fu: dict(slots)
-                          for fu, slots in state["fu_slots"].items()}
-        self._issued = dict(state["issued"])
+        issued = state["issued"]
+        cycles = list(issued)
+        for slots in state["fu_slots"].values():
+            cycles.extend(slots)
+        if not cycles:
+            self.clear()
+            self._horizon = state["horizon"]
+            return
+        base = min(cycles)
+        span = max(cycles) - base + 1
+        self._base = base
+        self._issued = lst = [0] * span
+        for cyc, v in issued.items():
+            lst[cyc - base] = v
+        self._fu_slots = {}
+        for fu in self._ports:
+            self._fu_slots[fu] = lst = [0] * span
+            for cyc, v in state["fu_slots"].get(fu, {}).items():
+                lst[cyc - base] = v
         self._horizon = state["horizon"]
 
     def trim(self, before_cycle: int) -> None:
         """Forget reservations older than ``before_cycle`` (memory bound)."""
-        if len(self._issued) < 4096:
+        cut = before_cycle - self._base
+        if self._base < 0 or cut < 4096:
             return
-        for fu, slots in self._fu_slots.items():
-            self._fu_slots[fu] = {
-                cyc: v for cyc, v in slots.items() if cyc >= before_cycle}
-        self._issued = {
-            cyc: v for cyc, v in self._issued.items() if cyc >= before_cycle}
+        if cut > len(self._issued):
+            cut = len(self._issued)
+        del self._issued[:cut]
+        for slots in self._fu_slots.values():
+            del slots[:cut]
+        self._base += cut

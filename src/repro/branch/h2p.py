@@ -39,6 +39,10 @@ class H2PTable:
             [[] for _ in range(self.sets_per_bank)]
             for _ in range(config.banks)]
         self._counter_max = (1 << config.counter_bits) - 1
+        # hoisted indexing constants (is_h2p runs once per fetched branch)
+        self._bank_mask = config.banks - 1
+        self._bank_shift = config.banks.bit_length() - 1
+        self._threshold = config.h2p_threshold
         self._clock = 0
         self._instructions_since_decrement = 0
         self.allocations = 0
@@ -113,7 +117,26 @@ class H2PTable:
         return entry.counters[slot] if slot >= 0 else 0
 
     def is_h2p(self, pc: int) -> bool:
-        return self.counter(pc) > self.config.h2p_threshold
+        # flattened counter()/_find()/_slot() chain: this runs once per
+        # fetched conditional branch (main and APF shadow paths), where
+        # the four-deep call chain costs more than the lookup itself.
+        # Keeps the LRU touch on hit, exactly like _find.
+        line = pc // _LINE_BYTES
+        bucket = self._banks[line & self._bank_mask][
+            (line >> self._bank_shift) % self.sets_per_bank]
+        for entry in bucket:
+            if entry.line == line:
+                self._clock += 1
+                entry.lru = self._clock
+                offset = pc % _LINE_BYTES
+                offsets = entry.offsets
+                counters = entry.counters
+                if offsets[0] == offset and counters[0] > 0:
+                    return counters[0] > self._threshold
+                if offsets[1] == offset and counters[1] > 0:
+                    return counters[1] > self._threshold
+                return False
+        return False
 
     # -- updates --------------------------------------------------------------
 

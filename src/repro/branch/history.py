@@ -33,6 +33,62 @@ from repro.common.bitops import fold_xor, mask
 
 __all__ = ["SpeculativeHistory"]
 
+#: specialized subclasses keyed by (fold constants, register masks); one
+#: per distinct predictor geometry, shared by every history that attaches it
+_SPECIALIZED: dict = {}
+
+
+def _specialized_class(gf_const, pf_const, ghr_mask, path_mask):
+    """Subclass of :class:`SpeculativeHistory` whose ``push`` is compiled
+    with this fold-spec set unrolled and every constant baked in.
+
+    The generic ``push`` pays a zip + tuple-unpack + list build per call
+    over ~20 fold registers; the generated method is the same arithmetic
+    as straight-line statements (bit-identical values), installed by
+    ``__class__`` reassignment — legal because the subclass adds no slots,
+    so the instance layout is unchanged."""
+    key = (tuple(gf_const), tuple(pf_const), ghr_mask, path_mask)
+    cls = _SPECIALIZED.get(key)
+    if cls is not None:
+        return cls
+    lines = [
+        "def push(self, taken, pc=0):",
+        "    ghr = self.ghr",
+        "    path = self.path",
+        "    b = 1 if taken else 0",
+        "    in2 = (pc >> 2) & 3",
+        f"    self.ghr = ((ghr << 1) | b) & {hex(ghr_mask)}",
+        f"    self.path = ((path << 2) | in2) & {hex(path_mask)}",
+    ]
+    ng = len(gf_const)
+    npf = len(pf_const)
+    if ng:
+        lines.append("    " + ", ".join(f"g{i}" for i in range(ng))
+                     + ("," if ng == 1 else "") + " = self._gf_vals")
+    if npf:
+        lines.append("    " + ", ".join(f"p{i}" for i in range(npf))
+                     + ("," if npf == 1 else "") + " = self._pf_vals")
+    gexprs = [
+        f"((((g{i} << 1) | (g{i} >> {wm1})) & {wmask})"
+        f" ^ (((ghr >> {top_s}) & 1) << {drop_s}) ^ b)"
+        for i, (wm1, wmask, drop_s, top_s) in enumerate(gf_const)]
+    pexprs = [
+        f"((((p{i} << 2) | (p{i} >> {wm2})) & {wmask})"
+        f" ^ (((path >> {t1}) & 1) << {d1})"
+        f" ^ (((path >> {t2}) & 1) << {d2}) ^ in2)"
+        for i, (wm2, wmask, d1, d2, t1, t2) in enumerate(pf_const)]
+    lines.append("    self._gf_vals = gv = ("
+                 + ", ".join(gexprs) + ("," if ng == 1 else "") + ")")
+    lines.append("    self._pf_vals = pv = ("
+                 + ", ".join(pexprs) + ("," if npf == 1 else "") + ")")
+    lines.append("    self.folds = (gv, pv)")
+    namespace: dict = {}
+    exec(compile("\n".join(lines), "<history-fold-push>", "exec"), namespace)
+    cls = type("FoldedSpeculativeHistory", (SpeculativeHistory,),
+               {"__slots__": (), "push": namespace["push"]})
+    _SPECIALIZED[key] = cls
+    return cls
+
 
 class SpeculativeHistory:
     """Global (direction) history plus a short path history."""
@@ -50,10 +106,12 @@ class SpeculativeHistory:
         self._ghr_mask = mask(max_length)
         self._path_mask = mask(2 * path_length)
         #: ``(ghr_fold_values, path_fold_values)`` once attached, else None.
-        #: The tuple holds the live lists — readers see current values.
+        #: The fold-value tuples are immutable — every push rebinds them
+        #: (and ``folds``), which makes :meth:`checkpoint` O(1): it hands
+        #: out the current tuples instead of copying them.
         self.folds = None
-        self._gf_vals: list = []
-        self._pf_vals: list = []
+        self._gf_vals: tuple = ()
+        self._pf_vals: tuple = ()
         self._gf_const: list = []
         self._pf_const: list = []
         self._gf_specs: tuple = ()
@@ -76,11 +134,15 @@ class SpeculativeHistory:
         self._pf_const = [(w - 2, (1 << w) - 1, (length + 1) % w, length % w,
                            length - 1, length - 2)
                           for (length, w) in self._pf_specs]
-        self._gf_vals = [fold_xor(self.ghr, length, w)
-                         for (length, w) in self._gf_specs]
-        self._pf_vals = [fold_xor(self.path, length, w)
-                         for (length, w) in self._pf_specs]
+        self._gf_vals = tuple(fold_xor(self.ghr, length, w)
+                              for (length, w) in self._gf_specs)
+        self._pf_vals = tuple(fold_xor(self.path, length, w)
+                              for (length, w) in self._pf_specs)
         self.folds = (self._gf_vals, self._pf_vals)
+        if self._gf_const or self._pf_const:
+            self.__class__ = _specialized_class(
+                self._gf_const, self._pf_const,
+                self._ghr_mask, self._path_mask)
 
     def adopt_folds(self, other: "SpeculativeHistory") -> None:
         """Share another history's fold specs (APF shadow construction).
@@ -93,9 +155,14 @@ class SpeculativeHistory:
         self._pf_specs = other._pf_specs
         self._gf_const = other._gf_const
         self._pf_const = other._pf_const
-        self._gf_vals = list(other._gf_vals)
-        self._pf_vals = list(other._pf_vals)
+        # fold tuples are immutable, so sharing them is a safe copy
+        self._gf_vals = other._gf_vals
+        self._pf_vals = other._pf_vals
         self.folds = (self._gf_vals, self._pf_vals)
+        if self._gf_const or self._pf_const:
+            self.__class__ = _specialized_class(
+                self._gf_const, self._pf_const,
+                self._ghr_mask, self._path_mask)
 
     # -- speculative update -------------------------------------------------
 
@@ -108,43 +175,65 @@ class SpeculativeHistory:
         self.ghr = ((ghr << 1) | b) & self._ghr_mask
         self.path = ((path << 2) | in2) & self._path_mask
         gv = self._gf_vals
-        if gv:
-            # slice-assign keeps list identity: self.folds and checkpoints
-            # alias these exact list objects
-            gv[:] = [((((f << 1) | (f >> wm1)) & wmask)
-                      ^ (((ghr >> top_s) & 1) << drop_s) ^ b)
-                     for f, (wm1, wmask, drop_s, top_s)
-                     in zip(gv, self._gf_const)]
-            pv = self._pf_vals
-            pv[:] = [((((f << 2) | (f >> wm2)) & wmask)
-                      ^ (((path >> top1) & 1) << drop1_s)
-                      ^ (((path >> top2) & 1) << drop2_s) ^ in2)
-                     for f, (wm2, wmask, drop1_s, drop2_s, top1, top2)
-                     in zip(pv, self._pf_const)]
+        if gv or self._pf_vals:
+            # rebind fresh tuples (never mutate): outstanding checkpoints
+            # hold the previous tuples and must keep their values
+            self._gf_vals = gv = tuple(
+                ((((f << 1) | (f >> wm1)) & wmask)
+                 ^ (((ghr >> top_s) & 1) << drop_s) ^ b)
+                for f, (wm1, wmask, drop_s, top_s)
+                in zip(gv, self._gf_const))
+            self._pf_vals = pv = tuple(
+                ((((f << 2) | (f >> wm2)) & wmask)
+                 ^ (((path >> top1) & 1) << drop1_s)
+                 ^ (((path >> top2) & 1) << drop2_s) ^ in2)
+                for f, (wm2, wmask, drop1_s, drop2_s, top1, top2)
+                in zip(self._pf_vals, self._pf_const))
+            self.folds = (gv, pv)
 
     # -- checkpointing ------------------------------------------------------
 
     def checkpoint(self) -> tuple:
         if self.folds is None:
             return (self.ghr, self.path)
-        return (self.ghr, self.path,
-                tuple(self._gf_vals), tuple(self._pf_vals))
+        # O(1): the fold tuples are immutable, so no copy is needed
+        return (self.ghr, self.path, self._gf_vals, self._pf_vals)
+
+    def refold(self) -> None:
+        """Recompute the maintained folds from the current registers.
+
+        Bit-identical to the incremental maintenance (both equal
+        ``fold_xor`` of the masked register); used when the registers
+        change without a fold-carrying checkpoint to restore from."""
+        if self.folds is None:
+            return
+        self._gf_vals = tuple(fold_xor(self.ghr, length, w)
+                              for (length, w) in self._gf_specs)
+        self._pf_vals = tuple(fold_xor(self.path, length, w)
+                              for (length, w) in self._pf_specs)
+        self.folds = (self._gf_vals, self._pf_vals)
 
     def restore(self, snapshot: tuple) -> None:
         self.ghr = snapshot[0]
         self.path = snapshot[1]
-        if len(snapshot) > 2 and self.folds is not None:
-            # slice-assign: self.folds holds these exact list objects
-            self._gf_vals[:] = snapshot[2]
-            self._pf_vals[:] = snapshot[3]
+        if self.folds is not None:
+            if len(snapshot) > 2:
+                self._gf_vals = snapshot[2]
+                self._pf_vals = snapshot[3]
+                self.folds = (snapshot[2], snapshot[3])
+            else:
+                # registers-only checkpoint restored into a folds-attached
+                # history: recompute instead of silently keeping stale folds
+                self.refold()
 
     def copy_from(self, other: "SpeculativeHistory") -> None:
         """Clone another path's history (APF pipeline initialisation)."""
         self.ghr = other.ghr
         self.path = other.path
         if self.folds is not None and other.folds is not None:
-            self._gf_vals[:] = other._gf_vals
-            self._pf_vals[:] = other._pf_vals
+            self._gf_vals = other._gf_vals
+            self._pf_vals = other._pf_vals
+            self.folds = (self._gf_vals, self._pf_vals)
 
     def snapshot_with(self, taken: bool, pc: int = 0) -> tuple:
         """Checkpoint as if ``taken`` had been pushed (without mutating)."""

@@ -82,7 +82,7 @@ class AlternatePathBuffer:
 class APFEngine:
     def __init__(self, config: APFConfig, branch_unit: BranchUnit,
                  program: Program, hierarchy, frontend_config,
-                 stats: StatGroup) -> None:
+                 stats: StatGroup, block_cache=None) -> None:
         self.config = config
         self.bu = branch_unit
         self.program = program
@@ -106,6 +106,19 @@ class APFEngine:
         self._code_base = program.code_base
         self._n_uops = len(program)
         self._shadow_queue_entries = config.shadow_branch_queue_entries
+        # straight-line shadow uops carry only their StaticUop (all
+        # prediction fields default) and are never mutated once buffered,
+        # so every job shares one interned prototype per static uop —
+        # from the core's BlockCache when available (one set per core)
+        if block_cache is not None:
+            self._protos = block_cache.shadow_protos()
+        else:
+            self._protos = [BufferedUop(su) for su in self._prog_uops]
+        # one shadow history re-seeded in place across consecutive jobs:
+        # start_job only fires while no other job is live, and finished
+        # jobs survive only as checkpoint tuples, so the fold state can
+        # be reused instead of re-allocated per job
+        self._shadow_hist: Optional[SpeculativeHistory] = None
         self.collect = True            # core toggles this across warmup
         self.obs = None                # observability sink (core attaches)
         self._c_jobs_started = stats.counter("apf_jobs_started")
@@ -224,8 +237,13 @@ class APFEngine:
         su = rec.uop
         alt_taken = not rec.predicted_taken
         start_pc = su.target if alt_taken else su.fallthrough
-        history = SpeculativeHistory(main_history.max_length,
-                                     main_history.path_length)
+        busy = self.active_job is not None or self.held_job is not None
+        history = self._shadow_hist if not busy else None
+        if history is None:
+            history = SpeculativeHistory(main_history.max_length,
+                                         main_history.path_length)
+            if not busy:
+                self._shadow_hist = history
         history.adopt_folds(main_history)
         # the shadow history is the history *at the branch* plus the
         # inverted prediction (Section V-E)
@@ -357,6 +375,7 @@ class APFEngine:
         width = self._fe_width
         uops = self._prog_uops
         runs = self._prog_runs
+        protos = self._protos
         code_base = self._code_base
         n_uops = self._n_uops
         collect = self.collect
@@ -416,8 +435,7 @@ class APFEngine:
             chunk = 8 - ((pc >> 2) & 7)   # uops left in this 32B half-line
             if chunk < n:
                 n = chunk
-            for k in range(index, index + n):
-                job_uops.append(BufferedUop(uops[k]))
+            job_uops.extend(protos[index:index + n])
             fetched += n
             job.pc = pc + (n << 2)
             if len(job_uops) >= buffer_cap:
@@ -441,9 +459,9 @@ class APFEngine:
                         self._c_bank_conflicts.value += 1
                     return False
                 self._bank_checked = True
+            history = job.history
             pred = self.bu.predictor.predict(
-                su.pc, job.history.ghr, job.history.path,
-                job.history.folds)
+                su.pc, history.ghr, history.path, history.folds)
             h2p = False
             low = False
             if job.shadow_branches < self._shadow_queue_entries:
@@ -453,13 +471,13 @@ class APFEngine:
             bu = BufferedUop(
                 su, predicted_taken=pred.taken,
                 predicted_target=su.target if pred.taken else su.fallthrough,
-                hist_checkpoint=job.history.checkpoint(),
-                ghr_at_predict=job.history.ghr,
-                path_at_predict=job.history.path,
+                hist_checkpoint=history.checkpoint(),
+                ghr_at_predict=history.ghr,
+                path_at_predict=history.path,
                 ras_state=job.shadow_ras.state(),
                 h2p_marked=h2p, low_conf=low)
             job.uops.append(bu)
-            job.history.push(pred.taken, su.pc)
+            history.push(pred.taken, su.pc)
             job.pc = bu.predicted_target
             self._shadow_taken = pred.taken
             return True

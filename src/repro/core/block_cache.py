@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.uops import BufferedUop
 from repro.isa.opcodes import NUM_ARCH_REGS, UOP_BYTES, Op
 from repro.isa.uop import StaticUop
 from repro.workloads.program import Program
@@ -146,6 +147,20 @@ class BlockCache:
         self._runs = program.nonbranch_runs()
         self._code_base = program.code_base
         self._templates: Dict[int, Optional[BlockTemplate]] = {}
+        self._shadow_protos: Optional[List[BufferedUop]] = None
+
+    def shadow_protos(self) -> List[BufferedUop]:
+        """Interned default-field :class:`BufferedUop` prototypes, one per
+        static uop (built on first use). The APF shadow fetch appends
+        straight-line uops with all-default prediction fields and never
+        mutates a BufferedUop after construction, so every job can share
+        one immutable instance per PC instead of constructing a fresh
+        object per uop per shadow cycle."""
+        protos = self._shadow_protos
+        if protos is None:
+            protos = [BufferedUop(su) for su in self._uops]
+            self._shadow_protos = protos
+        return protos
 
     def template(self, start_pc: int) -> Optional[BlockTemplate]:
         """Template for the branch-free block starting at ``start_pc``,

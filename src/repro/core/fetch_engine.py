@@ -15,6 +15,7 @@ latency pipe rather than being charged as a magic constant.
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import List, Optional
 
 from repro.branch.banking import fetch_banks_touched
@@ -33,6 +34,7 @@ __all__ = ["Bundle", "BranchUnit", "MainFetchEngine", "STALL_BTB",
            "STALL_ICACHE", "STALL_REDIRECT", "synthetic_address"]
 
 _MASK64 = (1 << 64) - 1
+_FALSE_REPEAT = repeat(False)
 
 # Why fetch is parked until ``stall_until`` — the core's CPI-stack
 # accounting maps these to frontend leaves. Updated whenever a stall
@@ -140,6 +142,12 @@ class MainFetchEngine:
         self._depth = self.fe.depth
         self._uop_bytes = self.fe.uop_bytes
         self._icache_hit_latency = hierarchy.icache.config.hit_latency
+        # stable bound-method aliases: the branch unit's structures are
+        # constructed once per core and restore() mutates them in place,
+        # so these never go stale (per-branch attribute-chain walks are
+        # measurable in the fetch hot loop)
+        self._predict = branch_unit.predictor.predict
+        self._is_h2p = branch_unit.h2p_table.is_h2p
         # block-grain fast path: precomputed straight-line run lengths
         # over the trace (on-trace fetch) and the static image (wrong-path
         # fetch). A full-width branch-free run builds the bundle in one
@@ -301,14 +309,16 @@ class MainFetchEngine:
                     if run:
                         if run > remaining:
                             run = remaining
-                        tu = self._trace_uops
-                        tm = self._trace_mem_addr
                         seq = self.seq
-                        for i in range(cursor, cursor + run):
-                            append(DynUop(seq, tu[i], i, False, tm[i]))
-                            seq += 1
-                        self.seq = seq
-                        self.cursor = cursor + run
+                        end = cursor + run
+                        # C-driven construction loop (map) — identical
+                        # DynUop stream to the per-uop append loop
+                        uops.extend(map(DynUop, range(seq, seq + run),
+                                        self._trace_uops[cursor:end],
+                                        range(cursor, end), _FALSE_REPEAT,
+                                        self._trace_mem_addr[cursor:end]))
+                        self.seq = seq + run
+                        self.cursor = end
                         remaining -= run
                         continue
             du = fetch_one(now)
@@ -382,11 +392,15 @@ class MainFetchEngine:
 
     def _make_record(self, du: DynUop, now: int) -> InflightBranch:
         su = du.static
+        history = self.history
         rec = InflightBranch(du.seq, su, su.kind, not self.wrong_path, now)
-        rec.hist_checkpoint = self.history.checkpoint()
+        ckpt = history.checkpoint()
+        rec.hist_checkpoint = ckpt
+        if len(ckpt) == 4:
+            rec.folds_at_predict = (ckpt[2], ckpt[3])
         rec.ras_checkpoint = self.ras.checkpoint()
-        rec.ghr_at_predict = self.history.ghr
-        rec.path_at_predict = self.history.path
+        rec.ghr_at_predict = history.ghr
+        rec.path_at_predict = history.path
         if not self.wrong_path:
             cursor = self.cursor
             rec.recovery_cursor = cursor + 1
@@ -417,18 +431,18 @@ class MainFetchEngine:
         rec = self._make_record(du, now)
 
         if kind is BranchKind.CONDITIONAL:
-            pred = self.bu.predictor.predict(
-                su.pc, self.history.ghr, self.history.path,
-                self.history.folds)
+            history = self.history
+            pred = self._predict(su.pc, history.ghr, history.path,
+                                 history.folds)
             # one predictor access per path per cycle: the bank occupied by
             # this cycle's prediction is that of the first branch looked up
             if self.publish_banks and not self.cycle_tage_banks:
                 self.cycle_tage_banks.add(self.bu.bank_of(su.pc))
             rec.predicted_taken = pred.taken
             rec.low_conf = pred.low_confidence
-            rec.h2p_marked = self.bu.h2p_table.is_h2p(su.pc)
+            rec.h2p_marked = self._is_h2p(su.pc)
             rec.predicted_target = su.target if pred.taken else su.fallthrough
-            self.history.push(pred.taken, su.pc)
+            history.push(pred.taken, su.pc)
             if pred.taken:
                 self._check_btb(su, now)
                 self._bundle_ended = True

@@ -124,10 +124,18 @@ class OoOCore:
         self.load_count = 0
         self.store_count = 0
 
+        # block-grain frontend fast path: precomputed decode/dependence
+        # templates keyed by block start PC (see repro.core.block_cache).
+        # Built before the APF engine so the shadow fetch can share the
+        # cache's interned straight-line BufferedUop prototypes.
+        self.block_cache = BlockCache(program, self.exec,
+                                      config.frontend.width)
+
         self.apf: Optional[APFEngine] = None
         if apf_cfg.enabled:
             self.apf = APFEngine(apf_cfg, self.branch_unit, program,
-                                 self.hierarchy, config.frontend, self.stats)
+                                 self.hierarchy, config.frontend, self.stats,
+                                 block_cache=self.block_cache)
 
         # structural limits and loop constants, cached off the config
         be = config.backend
@@ -146,12 +154,8 @@ class OoOCore:
         self._ts_period = (apf_cfg.timeshare_main_cycles
                            + apf_cfg.timeshare_alt_cycles)
 
-        # block-grain frontend fast path: precomputed decode/dependence
-        # templates keyed by block start PC (see repro.core.block_cache).
         # Only the BANKED scheme ever reads the per-cycle bank sets, so
         # every other configuration skips that bookkeeping.
-        self.block_cache = BlockCache(program, self.exec,
-                                      config.frontend.width)
         self.fetch.publish_banks = self._scheme is FetchScheme.BANKED
         self._done_scratch = [0] * config.frontend.width
         #: env-gated debug mode: re-derive every skipped window's no-op
@@ -166,6 +170,7 @@ class OoOCore:
         self._c_apf_restored_uops = stats.counter("apf_restored_uops")
         self._c_retired_loads = stats.counter("retired_loads")
         self._c_retired_stores = stats.counter("retired_stores")
+        self._c_retire_out_of_order = stats.counter("retire_out_of_order")
         self._c_cond_branches = stats.counter("cond_branches")
         self._c_cond_mispredicts = stats.counter("cond_mispredicts")
         self._c_h2p_marked = stats.counter("h2p_marked")
@@ -1007,7 +1012,10 @@ class OoOCore:
         rec = InflightBranch(du.seq, su, su.kind, trace_index >= 0, self.now)
         rec.predicted_taken = bu.predicted_taken
         rec.predicted_target = bu.predicted_target
-        rec.hist_checkpoint = bu.hist_checkpoint
+        ckpt = bu.hist_checkpoint
+        rec.hist_checkpoint = ckpt
+        if len(ckpt) == 4:
+            rec.folds_at_predict = (ckpt[2], ckpt[3])
         rec.ghr_at_predict = bu.ghr_at_predict
         rec.path_at_predict = bu.path_at_predict
         rec.ras_checkpoint = _materialize_ras(buffer.main_ras_snapshot,
@@ -1327,6 +1335,15 @@ class OoOCore:
     # ------------------------------------------------------------------
 
     def _retire(self) -> None:
+        """Drain the contiguous ready ROB prefix in one batched pass.
+
+        Counter deltas (retired count, load/store queue releases) are
+        accumulated in locals and flushed once, mirroring
+        ``_allocate_block``. The flush also happens *before*
+        ``_cross_warmup`` when the warmup target lands mid-batch, so the
+        warmup-boundary stats snapshot sees exactly the per-uop state
+        the unbatched loop maintained.
+        """
         rob = self.rob
         now = self.now
         if not rob or rob[0].done_cycle > now:
@@ -1335,33 +1352,62 @@ class OoOCore:
         warmup_target = self.warmup_target
         inflight = self.inflight
         obs = self._obs
+        retired = self.retired
         ticks = 0
+        loads = 0
+        stores = 0
         while budget and rob and rob[0].done_cycle <= now:
             du = rob.popleft()
             budget -= 1
-            self.retired += 1
+            retired += 1
             ticks += 1
             if obs is not None:
                 obs.on_retire(now, du)
             op = du.static.op
             if op is Op.LOAD:
-                self.load_count -= 1
-                self._c_retired_loads.value += 1
+                loads += 1
             elif op is Op.STORE:
-                self.store_count -= 1
-                self._c_retired_stores.value += 1
+                stores += 1
             rec = du.branch
             if rec is not None:
                 self._finalize_branch(rec)
                 if inflight and inflight[0] is rec:
                     inflight.popleft()
-                else:   # retire out of deque order is impossible; prune
+                else:
+                    # branches enter ``inflight`` in fetch order and the
+                    # ROB retires in fetch order, so an out-of-deque-order
+                    # retire should be impossible; count it rather than
+                    # swallowing it silently, and fail loudly in debug mode
+                    self._c_retire_out_of_order.value += 1
+                    if self._debug_skips:
+                        head = inflight[0] if inflight else None
+                        raise AssertionError(
+                            f"branch {rec!r} retired out of inflight-deque "
+                            f"order at cycle {now} (head: {head!r})")
                     try:
                         inflight.remove(rec)
                     except ValueError:
                         pass
-            if self.retired == warmup_target:
+            if retired == warmup_target:
+                # flush the batch so the stats snapshot taken by
+                # _cross_warmup sees the exact warmup-boundary state
+                self.retired = retired
+                if loads:
+                    self.load_count -= loads
+                    self._c_retired_loads.value += loads
+                    loads = 0
+                if stores:
+                    self.store_count -= stores
+                    self._c_retired_stores.value += stores
+                    stores = 0
                 self._cross_warmup()
+        self.retired = retired
+        if loads:
+            self.load_count -= loads
+            self._c_retired_loads.value += loads
+        if stores:
+            self.store_count -= stores
+            self._c_retired_stores.value += stores
         # the H2P decrement clock only matters to is_h2p queries, which
         # happen at fetch — strictly after retire within a cycle — so the
         # per-uop ticks batch into one call
@@ -1373,11 +1419,10 @@ class OoOCore:
             self._c_cond_branches.value += 1
             su = rec.uop
             backward = 0 <= su.target < su.pc
-            ckpt = rec.hist_checkpoint
             self.branch_unit.predictor.update(
                 rec.pc, rec.ghr_at_predict, rec.actual_taken,
                 rec.path_at_predict, backward=backward,
-                folds=(ckpt[2], ckpt[3]) if len(ckpt) == 4 else None)
+                folds=rec.folds_at_predict)
             mispredict = rec.mispredict
             if mispredict:
                 self._c_cond_mispredicts.value += 1

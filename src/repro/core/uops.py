@@ -46,7 +46,8 @@ class InflightBranch:
         "seq", "uop", "kind", "pc", "on_trace", "recovery_cursor",
         "predicted_taken", "actual_taken", "predicted_target",
         "actual_next_pc", "mispredict", "hist_checkpoint", "ras_checkpoint",
-        "ghr_at_predict", "path_at_predict", "rat_checkpoint",
+        "ghr_at_predict", "path_at_predict", "folds_at_predict",
+        "rat_checkpoint",
         "h2p_marked", "low_conf", "apf_job", "apf_buffer",
         "resolved", "squashed", "allocated", "fetch_cycle", "dpip_eligible",
     )
@@ -68,6 +69,9 @@ class InflightBranch:
         self.ras_checkpoint: Tuple = ()
         self.ghr_at_predict = 0
         self.path_at_predict = 0
+        # fold vectors captured in the same checkpoint as ghr/path, so
+        # the retire-time predictor update hits the folds fast path
+        self.folds_at_predict: Optional[Tuple] = None
         self.rat_checkpoint: Tuple = ()
         self.h2p_marked = False
         self.low_conf = False

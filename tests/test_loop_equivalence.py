@@ -255,6 +255,67 @@ class TestSkipWindowDebugMode:
         assert fingerprint(checked) == fingerprint(plain)
 
 
+@pytest.mark.parametrize("workload", ["leela", "tc"])
+@pytest.mark.parametrize("config_key", ["base", "apf"])
+class TestRetireBatching:
+    """The batched retire drain (one ROB-prefix pass with locally
+    accumulated counter deltas) must be invisible: warmup-boundary
+    snapshots, quiesce/restore state, and APF restore accounting all
+    match the per-cycle reference driver bit-exactly, including when
+    the boundary in question lands strictly inside a retire batch."""
+
+    def test_warmup_crossing_mid_batch(self, workload, config_key):
+        """Sweep the warmup target across one retire-width span so at
+        least one target lands mid-batch; the flush-before-_cross_warmup
+        path must leave the boundary snapshot identical to the per-cycle
+        driver's."""
+        width = CONFIGS[config_key]().backend.retire_width
+        for warmup in range(2_000, 2_000 + width + 1, max(1, width // 3)):
+            ref = make_core(workload, config_key)
+            ref.run(TOTAL, warmup=warmup, cycle_by_cycle=True)
+            skip = make_core(workload, config_key)
+            skip.run(TOTAL, warmup=warmup)
+            assert fingerprint(skip) == fingerprint(ref), warmup
+            for key in ("retired_loads", "retired_stores",
+                        "cond_mispredicts", "apf_restores"):
+                assert skip.measured(key) == ref.measured(key), (warmup,
+                                                                 key)
+
+    def test_batch_deltas_survive_snapshot_restore(self, workload,
+                                                   config_key):
+        """Load/store queue releases and the H2P decrement clock are
+        flushed from batch-local deltas; a quiesce/snapshot/restore
+        boundary right after a retire-heavy window must round-trip them
+        identically under both drivers."""
+        split = TOTAL // 3
+        finals = {}
+        for mode, cycle_by_cycle in (("ref", True), ("skip", False)):
+            first = make_core(workload, config_key)
+            first.run(split, cycle_by_cycle=cycle_by_cycle)
+            first.quiesce()
+            state = first.snapshot()
+            # quiesce drained the pipeline: every batched queue-release
+            # delta must have been flushed back into the live counts
+            assert first.load_count == 0
+            assert first.store_count == 0
+            second = make_core(workload, config_key)
+            second.restore(state)
+            second.run(TOTAL, cycle_by_cycle=cycle_by_cycle)
+            finals[mode] = fingerprint(second)
+        assert finals["skip"] == finals["ref"]
+
+    def test_no_out_of_order_retire(self, workload, config_key,
+                                    monkeypatch):
+        """The silent ``inflight.remove`` fallback is now counted; on
+        every normal run the counter stays zero and the debug-mode
+        assertion never fires (branches retire in fetch order)."""
+        monkeypatch.setenv("REPRO_DEBUG_SKIPS", "1")
+        core = make_core(workload, config_key)
+        core.run(TOTAL)
+        assert core._c_retire_out_of_order.value == 0
+        assert core.stats.counters.get("retire_out_of_order", 0) == 0
+
+
 def test_skip_window_checker_catches_stale_wakeup():
     """The debug checker must actually fire on a violated contract: a
     pending resolution event inside a claimed-idle window is the classic

@@ -1,0 +1,175 @@
+"""Randomized scalar-vs-numpy TAGE-SC-L equivalence.
+
+``TageSCL`` dispatches to the numpy array-backed :class:`VectorTageSCL`
+by default and to the scalar reference :class:`ScalarTageSCL` when
+``REPRO_SCALAR_PREDICTORS=1``. The two backends must be bit-identical on
+*any* predict/update sequence: every Prediction triple, the full storage
+snapshot, ``storage_bits()``, and the allocation RNG state — with and
+without attached history folds, and across snapshot/restore round-trips
+in either storage format (scalar emits nested lists, vector emits raw
+bytes; ``restore`` accepts both).
+
+The sequences here are randomized but seeded, so a failure is a
+reproducible counterexample, not a flake.
+"""
+
+import random
+
+import pytest
+
+from repro.branch.history import SpeculativeHistory
+from repro.branch.tage import (ScalarTageSCL, TageSCL, VectorTageSCL,
+                               _decode_row, _decode_rows)
+from repro.common.config import TageConfig
+
+CONFIGS = {
+    "full": dict(),
+    "no_sc": dict(enable_sc=False),
+    "no_loop": dict(enable_loop_predictor=False),
+    "tage_only": dict(enable_sc=False, enable_loop_predictor=False),
+}
+
+
+def make_config(key) -> TageConfig:
+    return TageConfig(num_tables=5, table_log_size=7, bimodal_log_size=9,
+                      max_history=64, sc_log_size=6, loop_log_size=5,
+                      **CONFIGS[key])
+
+
+def make_pair(key):
+    cfg = make_config(key)
+    scalar = ScalarTageSCL(cfg, seed=99)
+    vector = VectorTageSCL(cfg, seed=99)
+    assert type(scalar) is ScalarTageSCL
+    assert type(vector) is VectorTageSCL
+    return scalar, vector
+
+
+def canonical(snap: dict, cfg: TageConfig) -> dict:
+    """Normalize a snapshot to nested lists, whatever backend wrote it."""
+    out = dict(snap)
+    out["tags"] = _decode_rows(snap["tags"], cfg.num_tables)
+    out["ctrs"] = _decode_rows(snap["ctrs"], cfg.num_tables)
+    out["useful"] = _decode_rows(snap["useful"], cfg.num_tables)
+    out["bimodal"] = _decode_row(snap["bimodal"])
+    out["sc_tables"] = _decode_rows(snap["sc_tables"], cfg.sc_num_tables)
+    return out
+
+
+def make_history(predictor, use_folds: bool) -> SpeculativeHistory:
+    hist = SpeculativeHistory(64)
+    if use_folds:
+        ghr_specs, path_specs = predictor.fold_specs()
+        hist.attach_folds(ghr_specs, path_specs)
+    return hist
+
+
+def stimulus(seed: int, steps: int):
+    """A seeded branch stream: few PCs, mixed biases, some loop-shaped."""
+    rng = random.Random(seed)
+    pcs = [rng.randrange(0x1000, 0x40000) & ~3 for _ in range(24)]
+    bias = {pc: rng.choice((0.05, 0.3, 0.5, 0.8, 0.97)) for pc in pcs}
+    backward = {pc: rng.random() < 0.3 for pc in pcs}
+    trips = {pc: rng.randrange(3, 9) for pc in pcs}
+    count = dict.fromkeys(pcs, 0)
+    for _ in range(steps):
+        pc = rng.choice(pcs)
+        if backward[pc]:
+            # loop shape: taken trip-1 times, then one not-taken
+            count[pc] += 1
+            taken = count[pc] % trips[pc] != 0
+        else:
+            taken = rng.random() < bias[pc]
+        yield pc, taken, backward[pc]
+
+
+def drive(predictor, seed: int, steps: int, use_folds: bool,
+          roundtrip_every: int = 0):
+    """Run a predict/update walk; returns the observed prediction trail.
+
+    ``roundtrip_every > 0`` additionally snapshot/restores the predictor
+    into itself every that-many steps, exercising the save path and the
+    restore path mid-sequence (memoised state must be invalidated)."""
+    hist = make_history(predictor, use_folds)
+    trail = []
+    for i, (pc, taken, backward) in enumerate(stimulus(seed, steps)):
+        folds = hist.folds if use_folds else None
+        pred = predictor.predict(pc, hist.ghr, hist.path, folds=folds)
+        trail.append((pred.taken, pred.confidence, pred.provider))
+        predictor.update(pc, hist.ghr, taken, hist.path,
+                         backward=backward, folds=folds)
+        hist.push(taken, pc)
+        if roundtrip_every and i % roundtrip_every == roundtrip_every - 1:
+            predictor.restore(predictor.snapshot())
+    return trail
+
+
+@pytest.mark.parametrize("config_key", sorted(CONFIGS))
+@pytest.mark.parametrize("use_folds", [False, True],
+                         ids=["no_folds", "folds"])
+class TestRandomizedEquivalence:
+    def test_trail_and_storage_identical(self, config_key, use_folds):
+        scalar, vector = make_pair(config_key)
+        strail = drive(scalar, seed=1234, steps=1_500, use_folds=use_folds)
+        vtrail = drive(vector, seed=1234, steps=1_500, use_folds=use_folds)
+        assert strail == vtrail
+        cfg = make_config(config_key)
+        assert canonical(scalar.snapshot(), cfg) \
+            == canonical(vector.snapshot(), cfg)
+
+    def test_roundtrips_do_not_disturb_state(self, config_key, use_folds):
+        """Snapshot/restore mid-sequence is a no-op for both backends."""
+        scalar, vector = make_pair(config_key)
+        strail = drive(scalar, seed=71, steps=900, use_folds=use_folds,
+                       roundtrip_every=113)
+        vtrail = drive(vector, seed=71, steps=900, use_folds=use_folds,
+                       roundtrip_every=113)
+        plain_scalar, plain_vector = make_pair(config_key)
+        assert strail == vtrail
+        assert strail == drive(plain_scalar, seed=71, steps=900,
+                               use_folds=use_folds)
+        assert vtrail == drive(plain_vector, seed=71, steps=900,
+                               use_folds=use_folds)
+
+
+@pytest.mark.parametrize("config_key", sorted(CONFIGS))
+class TestCrossFormat:
+    def test_storage_bits_unchanged(self, config_key):
+        scalar, vector = make_pair(config_key)
+        assert scalar.storage_bits() == vector.storage_bits()
+
+    def test_cross_restore_both_directions(self, config_key):
+        """A scalar snapshot restores into the vector backend and vice
+        versa, and the predictors continue bit-identically from there."""
+        scalar, vector = make_pair(config_key)
+        drive(scalar, seed=5, steps=600, use_folds=False)
+        drive(vector, seed=5, steps=600, use_folds=False)
+        crossed_scalar, crossed_vector = make_pair(config_key)
+        crossed_scalar.restore(vector.snapshot())   # bytes -> lists
+        crossed_vector.restore(scalar.snapshot())   # lists -> arrays
+        cfg = make_config(config_key)
+        assert canonical(crossed_scalar.snapshot(), cfg) \
+            == canonical(crossed_vector.snapshot(), cfg)
+        tail_s = drive(crossed_scalar, seed=6, steps=400, use_folds=True)
+        tail_v = drive(crossed_vector, seed=6, steps=400, use_folds=True)
+        assert tail_s == tail_v
+
+
+class TestDispatch:
+    def test_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALAR_PREDICTORS", raising=False)
+        assert type(TageSCL(make_config("full"))) is VectorTageSCL
+
+    def test_env_switch_selects_scalar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_PREDICTORS", "1")
+        # the TageSCL class body IS the scalar implementation; the switch
+        # just suppresses the redirect to the vector subclass
+        assert not isinstance(TageSCL(make_config("full")), VectorTageSCL)
+        monkeypatch.setenv("REPRO_SCALAR_PREDICTORS", "0")
+        assert type(TageSCL(make_config("full"))) is VectorTageSCL
+
+    def test_direct_classes_ignore_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_PREDICTORS", "1")
+        assert type(VectorTageSCL(make_config("full"))) is VectorTageSCL
+        monkeypatch.delenv("REPRO_SCALAR_PREDICTORS", raising=False)
+        assert type(ScalarTageSCL(make_config("full"))) is ScalarTageSCL
