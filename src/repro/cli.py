@@ -262,6 +262,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--no-cache", action="store_true",
                          help="bypass the on-disk result cache (results "
                               "kept in memory only)")
+    serve_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="request journal location (default: "
+                              "service-journal.jsonl under the cache "
+                              "root)")
+    startup = serve_p.add_mutually_exclusive_group()
+    startup.add_argument("--resume", dest="resume", action="store_true",
+                         default=True,
+                         help="replay a previous process's journal on "
+                              "startup: resume in-flight requests, "
+                              "re-hydrating completed work from the "
+                              "cache (default)")
+    startup.add_argument("--fresh", dest="resume", action="store_false",
+                         help="archive any existing journal unreplayed "
+                              "and start with no requests")
     add_metrics(serve_p)
 
     submit_p = sub.add_parser(
@@ -693,19 +707,33 @@ def _cmd_trace(args) -> int:
 def _cmd_serve(args) -> int:
     import time
 
-    from repro.service import build_service
-    service = build_service(jobs=args.jobs, timeout=args.timeout,
-                            retries=args.retries,
-                            use_cache=not args.no_cache,
-                            host=args.host, port=args.port)
+    from repro.service import JournalError, build_service
+    try:
+        service = build_service(jobs=args.jobs, timeout=args.timeout,
+                                retries=args.retries,
+                                use_cache=not args.no_cache,
+                                host=args.host, port=args.port,
+                                journal_path=args.journal,
+                                resume=args.resume)
+    except JournalError as exc:
+        raise SystemExit(f"serve: {exc}\n(run with --fresh to archive "
+                         f"the unreplayable journal and start clean)")
     # bind before announcing so a taken port fails loudly up front
     try:
         service.start()
     except RuntimeError as exc:
         raise SystemExit(f"serve: {exc}")
+    if service.recovery is not None:
+        rec = service.recovery
+        print(f"recovered {rec['requests_resumed']} in-flight request(s) "
+              f"from the journal: {rec['leaves_rehydrated']} leaves "
+              f"re-hydrated from cache, {rec['leaves_requeued']} "
+              f"re-enqueued, {rec['claims_reaped']} stale claim(s) "
+              f"reaped", file=sys.stderr)
     print(f"repro service listening on {service.url} "
           f"(workers={service.scheduler.executor.slots}, "
-          f"cache={'off' if args.no_cache else 'on'}); Ctrl-C to stop",
+          f"cache={'off' if args.no_cache else 'on'}, "
+          f"journal={'on' if args.resume else 'fresh'}); Ctrl-C to stop",
           file=sys.stderr)
     try:
         while True:
@@ -760,7 +788,9 @@ def _request_from_args(args) -> dict:
 
 def _print_request_detail(detail: dict) -> None:
     counts = detail.get("nodes", {})
-    print(f"request {detail['request_id']}: {detail['status']} "
+    provenance = " [recovered]" if detail.get("recovered") else ""
+    print(f"request {detail['request_id']}: {detail['status']}"
+          f"{provenance} "
           f"({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})")
     for label, entry in sorted(detail.get("results", {}).items()):
         payload = entry["payload"]
@@ -833,7 +863,9 @@ def _cmd_status(args) -> int:
     if args.as_json:
         print(json.dumps(overview, indent=2, sort_keys=True))
         return 0
-    rows = [(entry["request_id"], entry["kind"], entry["status"],
+    rows = [(entry["request_id"], entry["kind"],
+             entry["status"] + (" [recovered]" if entry.get("recovered")
+                                else ""),
              ", ".join(f"{k}={v}"
                        for k, v in sorted(entry["nodes"].items())))
             for entry in overview["requests"]]

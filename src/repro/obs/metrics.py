@@ -109,6 +109,20 @@ METRIC_KINDS = {
         "event": (str,),
         "request_id": (str,),
     },
+    # one daemon-restart recovery summary ("resumed" after a journal
+    # replay, "fresh" when --fresh archived the journal unreplayed):
+    # how many in-flight requests were rebuilt, how many completed
+    # leaves were re-hydrated from the content-addressed store (zero
+    # re-execution), how many genuinely unfinished leaves were
+    # re-enqueued, and how many stale leader claims from the dead
+    # process were reaped
+    "service_recovery": {
+        "event": (str,),
+        "requests_resumed": (int,),
+        "leaves_rehydrated": (int,),
+        "leaves_requeued": (int,),
+        "claims_reaped": (int,),
+    },
 }
 
 

@@ -10,6 +10,10 @@ worker pool into a long-lived experiment fleet:
   :func:`~repro.analysis.harness.result_key` content addresses, plus
   synthesis nodes (compare deltas, geomeans, CPI-stack diffs) that
   depend on their leaves.
+* :mod:`repro.service.journal` — the append-only, fsync'd request
+  journal and its replay/archive machinery: a daemon restart resumes
+  in-flight DAGs (completed leaves re-hydrated from the cache, stale
+  claims reaped) instead of losing them.
 * :mod:`repro.service.store` — the content-addressed result store
   wrapping the atomic harness cache, with in-flight single-flight
   bookkeeping (one execution, many waiters).
@@ -29,15 +33,22 @@ worker pool into a long-lived experiment fleet:
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.daemon import Service, build_service
 from repro.service.dag import JobGraph, Node, expand_request
+from repro.service.journal import (JOURNAL_SCHEMA_VERSION, JournalError,
+                                   JournalReplay, RequestJournal,
+                                   archive_journal, default_journal_path,
+                                   replay_journal)
 from repro.service.requests import (RequestError, ServiceRequest,
-                                    config_from_spec, parse_request)
+                                    config_from_spec, make_request_id,
+                                    parse_request)
 from repro.service.scheduler import ServiceScheduler
 from repro.service.store import ResultStore
 from repro.service.telemetry import ServiceTelemetry
 
 __all__ = [
-    "JobGraph", "Node", "RequestError", "ResultStore", "Service",
+    "JOURNAL_SCHEMA_VERSION", "JobGraph", "JournalError", "JournalReplay",
+    "Node", "RequestError", "RequestJournal", "ResultStore", "Service",
     "ServiceClient", "ServiceError", "ServiceRequest", "ServiceScheduler",
-    "ServiceTelemetry", "build_service", "config_from_spec",
-    "expand_request", "parse_request",
+    "ServiceTelemetry", "archive_journal", "build_service",
+    "config_from_spec", "default_journal_path", "expand_request",
+    "make_request_id", "parse_request", "replay_journal",
 ]

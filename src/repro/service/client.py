@@ -55,6 +55,13 @@ class ServiceClient:
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"cannot reach {self.url}: {exc.reason}") from exc
+        except OSError as exc:
+            # a daemon dying mid-exchange (killed while replying) resets
+            # the socket *after* urlopen succeeded, which surfaces as a
+            # raw ConnectionError rather than a URLError: normalise it
+            # so wait()/wait_healthy() retry logic sees one error type
+            raise ServiceError(
+                f"cannot reach {self.url}: {exc}") from exc
 
     # -- endpoints --------------------------------------------------------
 
@@ -77,23 +84,51 @@ class ServiceClient:
 
     def metrics(self, kind: Optional[str] = None,
                 since: int = 0) -> dict:
+        """Buffered metric records with explicit eviction accounting.
+
+        The daemon's ring is bounded, so a poller resuming from
+        ``since`` may have missed records. The response's ``gap`` field
+        (recomputed here for pre-gap daemons) counts records in
+        ``(since, oldest_seq)`` that were evicted — a non-zero gap means
+        the stream has a hole and must not be presented as complete.
+        """
         query = []
         if kind:
             query.append(f"kind={kind}")
         if since:
             query.append(f"since={since}")
         suffix = ("?" + "&".join(query)) if query else ""
-        return self._call("/metrics" + suffix)
+        data = self._call("/metrics" + suffix)
+        if "gap" not in data:
+            oldest = data.get("oldest_seq", 1)
+            data["gap"] = max(0, oldest - since - 1)
+        return data
 
     # -- conveniences -----------------------------------------------------
 
     def wait(self, request_id: str, timeout: float = 300.0,
-             poll: float = 0.2) -> dict:
-        """Poll ``/status/<id>`` until the request is terminal."""
+             poll: float = 0.2,
+             tolerate_unreachable: bool = False) -> dict:
+        """Poll ``/status/<id>`` until the request is terminal.
+
+        Terminal means terminal: a request whose leader died surfaces as
+        ``"failed"`` (the scheduler releases the single-flight claim and
+        poisons the dependents) and is returned, an unknown id raises
+        the 404 immediately — the poll never spins forever on a request
+        that can no longer finish. With ``tolerate_unreachable=True``
+        connection failures are retried until the deadline instead of
+        raising, so a caller can wait across a daemon restart (the
+        journal preserves the request id).
+        """
         deadline = time.monotonic() + timeout
         while True:
-            detail = self.status(request_id)
-            if detail["status"] != "running":
+            try:
+                detail = self.status(request_id)
+            except ServiceError as exc:
+                if not (tolerate_unreachable and exc.status is None):
+                    raise
+                detail = None       # daemon down: retry until deadline
+            if detail is not None and detail["status"] != "running":
                 return detail
             if time.monotonic() > deadline:
                 raise ServiceError(

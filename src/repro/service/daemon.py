@@ -32,9 +32,12 @@ import json
 import re
 import threading
 import time
+from pathlib import Path
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.service.journal import (RequestJournal, archive_journal,
+                                   default_journal_path, replay_journal)
 from repro.service.requests import RequestError
 from repro.service.scheduler import ServiceScheduler
 from repro.service.store import ResultStore
@@ -64,6 +67,9 @@ class Service:
         self.scheduler = scheduler
         self.host = host
         self.port = port
+        #: recovery stats from a startup journal replay (None when the
+        #: daemon started without one); surfaced on /healthz
+        self.recovery: Optional[dict] = None
         self._started = time.monotonic()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_future: Optional[asyncio.Future] = None
@@ -152,25 +158,43 @@ class Service:
 
     async def _handle_request(self, reader: asyncio.StreamReader
                               ) -> Tuple[int, dict]:
-        request_line = await asyncio.wait_for(reader.readline(), 30)
-        parts = request_line.decode("latin-1").split()
-        if len(parts) < 2:
-            return 400, {"error": "malformed request line"}
-        method, target = parts[0].upper(), parts[1]
-        length = 0
-        while True:
-            line = await asyncio.wait_for(reader.readline(), 30)
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+        # Content-Length is attacker-controlled input: reject negative
+        # and oversized values *before* reading, and turn a short or
+        # stalled body (client lied about the length, or hung up
+        # mid-send) into a clean 400 instead of a wedged connection or
+        # a traceback through the handler.
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), 30)
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return 400, {"error": "malformed request line"}
+            method, target = parts[0].upper(), parts[1]
+            length = 0
+            while True:
+                line = await asyncio.wait_for(reader.readline(), 30)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        length = int(value.strip())
+                    except ValueError:
+                        return 400, {"error": "bad Content-Length"}
+            if length < 0:
+                return 400, {"error": "negative Content-Length"}
+            if length > _MAX_BODY:
+                return 413, {"error": f"body exceeds {_MAX_BODY} bytes"}
+            body = b""
+            if length:
                 try:
-                    length = int(value.strip())
-                except ValueError:
-                    return 400, {"error": "bad Content-Length"}
-        if length > _MAX_BODY:
-            return 413, {"error": f"body exceeds {_MAX_BODY} bytes"}
-        body = await reader.readexactly(length) if length else b""
+                    body = await asyncio.wait_for(
+                        reader.readexactly(length), 30)
+                except asyncio.IncompleteReadError as exc:
+                    return 400, {"error":
+                                 f"request body ended after "
+                                 f"{len(exc.partial)} of {length} bytes"}
+        except asyncio.TimeoutError:
+            return 400, {"error": "timed out reading request"}
         return self._route(method, target, body)
 
     # -- routing ----------------------------------------------------------
@@ -199,12 +223,15 @@ class Service:
 
         if path == "/healthz":
             overview = self.scheduler.overview()
-            return 200, {"status": "ok",
-                         "uptime_s": round(time.monotonic()
-                                           - self._started, 3),
-                         "requests": len(overview["requests"]),
-                         "executor": overview["executor"],
-                         "store": overview["store"]}
+            health = {"status": "ok",
+                      "uptime_s": round(time.monotonic()
+                                        - self._started, 3),
+                      "requests": len(overview["requests"]),
+                      "executor": overview["executor"],
+                      "store": overview["store"]}
+            if self.recovery is not None:
+                health["recovery"] = self.recovery
+            return 200, health
         if path == "/status":
             return 200, self.scheduler.overview()
         if path.startswith("/status/"):
@@ -230,11 +257,18 @@ class Service:
                     since = int(query["since"])
                 except ValueError:
                     return 400, {"error": "since must be an integer"}
-            records = self.scheduler.telemetry.records(
+            telemetry = self.scheduler.telemetry
+            records = telemetry.records(
                 kind=query.get("kind") or None, since=since)
+            oldest = telemetry.oldest_seq
+            # "gap": records in (since, oldest) evicted from the bounded
+            # ring — the poller's stream has a hole it must not paper
+            # over (the JSONL mirror, when enabled, still has them)
             return 200, {"records": records,
-                         "counts": self.scheduler.telemetry.counts(),
-                         "seq": self.scheduler.telemetry.seq}
+                         "counts": telemetry.counts(),
+                         "seq": telemetry.seq,
+                         "oldest_seq": oldest,
+                         "gap": max(0, oldest - since - 1)}
         return 404, {"error": f"no route for {path!r}"}
 
 
@@ -243,9 +277,41 @@ def build_service(jobs: Optional[int] = None,
                   use_cache: bool = True, host: str = "127.0.0.1",
                   port: int = 8023,
                   telemetry: Optional[ServiceTelemetry] = None,
-                  store: Optional[ResultStore] = None) -> Service:
-    """Wire a full service: store + telemetry + scheduler + HTTP."""
+                  store: Optional[ResultStore] = None,
+                  journal_path: Optional[object] = None,
+                  resume: bool = True,
+                  use_journal: bool = True) -> Service:
+    """Wire a full service: journal + store + telemetry + scheduler + HTTP.
+
+    Durability is on by default: a fsync'd request journal lives under
+    the cache root (or at ``journal_path``) and any journal left by a
+    previous process is replayed before the daemon starts — completed
+    leaves re-hydrated from the content-addressed store, unfinished ones
+    re-enqueued (``resume=True``), or archived unreplayed
+    (``resume=False``, the ``--fresh`` CLI switch). Either way the old
+    file is rotated to a ``.bak`` and a fresh journal is started, so
+    replay only ever sees one process generation. Raises
+    :class:`~repro.service.journal.JournalError` when the existing
+    journal is unreadable — archive it with ``--fresh`` to start clean.
+    """
+    journal = None
+    replay = None
+    if use_journal:
+        path = Path(journal_path) if journal_path is not None \
+            else default_journal_path()
+        if resume:
+            replay = replay_journal(path)     # JournalError propagates
+        archive_journal(path)
+        journal = RequestJournal(path)
     scheduler = ServiceScheduler(slots=jobs, timeout=timeout,
                                  retries=retries, use_cache=use_cache,
-                                 store=store, telemetry=telemetry)
-    return Service(scheduler, host=host, port=port)
+                                 store=store, telemetry=telemetry,
+                                 journal=journal)
+    service = Service(scheduler, host=host, port=port)
+    if replay is not None and replay.requests:
+        service.recovery = scheduler.recover(replay)
+        if replay.truncated:
+            service.recovery["journal_truncated"] = True
+    elif journal is not None and not resume:
+        scheduler.telemetry.recovery_event("fresh")
+    return service

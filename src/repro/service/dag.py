@@ -52,6 +52,8 @@ class Node:
     deps: List[str] = field(default_factory=list)
     state: str = "pending"
     cache_hit: bool = False
+    recovered: bool = False       # settled by journal replay, not by
+                                  # this process executing the job
     error: Optional[str] = None
 
     @property
@@ -66,6 +68,8 @@ class Node:
             out["cache_hit"] = self.cache_hit
         else:
             out["synth"] = self.synth
+        if self.recovered:
+            out["recovered"] = True
         if self.error:
             out["error"] = self.error
         return out

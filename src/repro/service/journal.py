@@ -1,0 +1,269 @@
+"""Persistent request journal: crash-safe durability for ``repro serve``.
+
+The journal is an append-only JSONL file under the cache root (next to
+the content-addressed result entries it complements). Every line is one
+schema-versioned record — the same discipline as the harness cache,
+whose entries can never be served across a payload-format change — and
+every append is flushed *and* ``fsync``'d before the daemon acts on it,
+so a SIGKILL can lose at most one partially written tail line (which
+replay detects and drops).
+
+Record kinds (all carry ``{"schema": JOURNAL_SCHEMA_VERSION}``):
+
+* ``request_admitted`` — one accepted request: its stable id, its
+  admission sequence number, and the *canonical* request document (so a
+  restarted daemon re-expands the exact same content-addressed
+  :class:`~repro.service.dag.JobGraph`).
+* ``job_claimed`` — this daemon became the single-flight *leader* for a
+  leaf key (records the pid; a claim from a dead process is stale by
+  definition and gets reaped on replay).
+* ``job_completed`` / ``job_failed`` — a leaf key reached a terminal
+  outcome. Payloads are **not** journalled: the content-addressed
+  result store (the harness cache) is the one source of payload truth,
+  and replay re-hydrates from it byte-identically.
+* ``request_finished`` — a request reached a terminal status; replay
+  skips it entirely.
+
+Replay is a pure fold over the journal (:func:`replay_journal`): it
+yields the set of unfinished requests, the globally completed/failed
+keys, and the stale leader claims, from which
+:meth:`~repro.service.scheduler.ServiceScheduler.recover` rebuilds each
+in-flight DAG — completed leaves served from the cache with **zero
+re-execution**, only genuinely unfinished leaves re-enqueued.
+
+On every startup the old journal is archived (``<name>.N.bak`` — never
+deleted, mirroring the atomic-replace discipline of the cache writer)
+and a fresh journal is started; resumed requests are re-admitted into
+the new file, which both compacts the journal and keeps replay
+single-generation. ``repro serve --fresh`` archives without replaying.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Union
+
+from repro.analysis import harness
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "JournalError", "JournalReplay",
+           "ReplayedRequest", "RequestJournal", "archive_journal",
+           "default_journal_path", "replay_journal"]
+
+#: Bump whenever the journal record format changes: replay refuses a
+#: journal written under a different version (archive it with --fresh).
+JOURNAL_SCHEMA_VERSION = 1
+
+_EVENTS = frozenset({"request_admitted", "job_claimed", "job_completed",
+                     "job_failed", "request_finished"})
+
+
+class JournalError(RuntimeError):
+    """The journal on disk cannot be replayed (corrupt body or a record
+    written under an unknown schema version)."""
+
+
+def default_journal_path() -> Path:
+    """The journal's home: ``service-journal.jsonl`` under the cache
+    root, so ``REPRO_CACHE_DIR`` relocates journal and results together."""
+    return harness.cache_path() / "service-journal.jsonl"
+
+
+class RequestJournal:
+    """Append-only, fsync'd JSONL writer (thread-safe).
+
+    The file is opened lazily on first append and each record is
+    flushed and ``os.fsync``'d before :meth:`append` returns — the
+    admission/claim/outcome is durable before the daemon acts on it.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle: Optional[io.TextIOWrapper] = None
+
+    def append(self, event: str, **fields) -> dict:
+        record = {"schema": JOURNAL_SCHEMA_VERSION, "event": event,
+                  **fields}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        return record
+
+    # -- producers (one per record kind) ----------------------------------
+
+    def request_admitted(self, request_id: str, seq: int,
+                         doc: dict) -> dict:
+        return self.append("request_admitted", request_id=request_id,
+                           seq=seq, doc=doc)
+
+    def job_claimed(self, key: str, request_id: str) -> dict:
+        return self.append("job_claimed", key=key, request_id=request_id,
+                           pid=os.getpid())
+
+    def job_completed(self, key: str) -> dict:
+        return self.append("job_completed", key=key)
+
+    def job_failed(self, key: str, error: str = "") -> dict:
+        return self.append("job_failed", key=key, error=error)
+
+    def request_finished(self, request_id: str, status: str) -> dict:
+        return self.append("request_finished", request_id=request_id,
+                           status=status)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# --------------------------------------------------------------------------
+# Replay
+# --------------------------------------------------------------------------
+
+@dataclass
+class ReplayedRequest:
+    """One request reconstructed from the journal."""
+
+    request_id: str
+    seq: int
+    doc: dict
+    status: Optional[str] = None     # terminal status, or None = in flight
+
+    @property
+    def unfinished(self) -> bool:
+        return self.status is None
+
+
+@dataclass
+class JournalReplay:
+    """The fold of one journal file (see :func:`replay_journal`)."""
+
+    path: Path
+    requests: Dict[str, ReplayedRequest] = field(default_factory=dict)
+    completed: Set[str] = field(default_factory=set)
+    failed: Dict[str, str] = field(default_factory=dict)  # key -> error
+    claims: Dict[str, int] = field(default_factory=dict)  # key -> pid
+    max_seq: int = 0
+    lines: int = 0
+    truncated: bool = False          # a partial tail line was dropped
+
+    def unfinished(self) -> List[ReplayedRequest]:
+        return [r for r in self.requests.values() if r.unfinished]
+
+    def stale_claims(self) -> Set[str]:
+        """Leader claims with no terminal outcome: the claiming process
+        died mid-execution, so the claim must be reaped and the leaf
+        re-enqueued (unless the cache already holds its payload)."""
+        return {key for key in self.claims
+                if key not in self.completed and key not in self.failed}
+
+
+def replay_journal(path: Union[str, Path]) -> JournalReplay:
+    """Fold the journal at ``path`` into a :class:`JournalReplay`.
+
+    A missing file replays empty. A partial **tail** line (the one write
+    a crash can truncate) is dropped and flagged via ``truncated``;
+    corruption anywhere *else*, or any record written under an unknown
+    schema version, raises :class:`JournalError` — the operator decides
+    (``repro serve --fresh`` archives the bad journal and starts clean).
+    """
+    path = Path(path)
+    replay = JournalReplay(path=path)
+    try:
+        data = path.read_text(encoding="utf-8", errors="replace")
+    except FileNotFoundError:
+        return replay
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    if not data:
+        return replay
+    lines = data.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()                   # trailing newline: clean final line
+    else:
+        replay.truncated = True       # no newline: crashed mid-append
+        lines.pop()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if index == len(lines) - 1:
+                # an interrupted append that did flush the newline can
+                # still leave a garbled final record: drop it too
+                replay.truncated = True
+                continue
+            raise JournalError(
+                f"journal {path} line {index + 1} is corrupt: "
+                f"{exc}") from exc
+        _apply_record(replay, record, index + 1)
+        replay.lines += 1
+    return replay
+
+
+def _apply_record(replay: JournalReplay, record: dict, line_no: int) -> None:
+    if not isinstance(record, dict):
+        raise JournalError(f"journal {replay.path} line {line_no} is not "
+                           f"an object")
+    version = record.get("schema")
+    if version != JOURNAL_SCHEMA_VERSION:
+        raise JournalError(
+            f"journal {replay.path} line {line_no} has schema "
+            f"{version!r}; this build replays only "
+            f"{JOURNAL_SCHEMA_VERSION} (archive it with --fresh)")
+    event = record.get("event")
+    if event not in _EVENTS:
+        raise JournalError(f"journal {replay.path} line {line_no} has "
+                           f"unknown event {event!r}")
+    if event == "request_admitted":
+        request_id = record["request_id"]
+        seq = int(record["seq"])
+        replay.requests[request_id] = ReplayedRequest(
+            request_id=request_id, seq=seq, doc=record["doc"])
+        replay.max_seq = max(replay.max_seq, seq)
+    elif event == "job_claimed":
+        replay.claims[record["key"]] = int(record.get("pid", 0))
+    elif event == "job_completed":
+        key = record["key"]
+        replay.completed.add(key)
+        replay.claims.pop(key, None)
+        replay.failed.pop(key, None)
+    elif event == "job_failed":
+        key = record["key"]
+        replay.failed[key] = record.get("error", "")
+        replay.claims.pop(key, None)
+        replay.completed.discard(key)
+    else:                              # request_finished
+        request = replay.requests.get(record["request_id"])
+        if request is not None:
+            request.status = record.get("status", "done")
+
+
+def archive_journal(path: Union[str, Path]) -> Optional[Path]:
+    """Rotate the journal at ``path`` aside (``<name>.N.bak``, first free
+    ``N``); returns the archive path, or ``None`` when there was no
+    journal. The archive is never deleted — a botched recovery can
+    always be replayed by hand from the ``.bak``."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    n = 1
+    while True:
+        candidate = path.with_name(f"{path.name}.{n}.bak")
+        if not candidate.exists():
+            break
+        n += 1
+    os.replace(path, candidate)
+    return candidate

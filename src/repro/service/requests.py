@@ -41,7 +41,8 @@ from repro.common.config import (AlternatePathMode, CoreConfig, FetchScheme,
 from repro.sampling import SamplingPlan, parse_sampling
 
 __all__ = ["RequestError", "ServiceRequest", "config_from_spec",
-           "normalize_request", "parse_request", "request_signature"]
+           "make_request_id", "normalize_request", "parse_request",
+           "request_signature"]
 
 REQUEST_KINDS = ("run", "compare", "sweep")
 
@@ -232,6 +233,16 @@ def request_signature(doc: dict) -> str:
     """Stable content signature of a canonical request document."""
     payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def make_request_id(seq: int, doc: dict) -> str:
+    """The request id for admission number ``seq`` of canonical ``doc``.
+
+    A pure function of ``(seq, doc)`` — the request journal records
+    both, so a daemon restart reconstructs the exact same id and clients
+    keep polling the handle they were given before the crash.
+    """
+    return f"r{seq:04d}-{request_signature(doc)}"
 
 
 def parse_request(doc: dict) -> ServiceRequest:

@@ -28,21 +28,33 @@ the executor is touched only by the scheduling thread (or by
 :meth:`drain` when no thread is running). ``submit_request`` — called
 from the daemon's asyncio thread — only parses, claims, and enqueues,
 then wakes the scheduling thread.
+
+Durability: when constructed with a
+:class:`~repro.service.journal.RequestJournal`, every admission (the
+canonical request document, fsync'd *before* any state is registered),
+leader claim, terminal job outcome, and request terminal status is
+journalled; :meth:`recover` replays a prior process's journal on
+startup — re-hydrating completed leaves from the content-addressed
+store, reaping the dead process's stale claims, and re-enqueueing only
+genuinely unfinished work. See :mod:`repro.service.journal`.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from math import ceil
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.runner import JobEvent, JobExecutor, RunManifest
 from repro.service.dag import (JobGraph, Node, evaluate_synthesis,
                                expand_request)
-from repro.service.requests import ServiceRequest, parse_request
+from repro.service.journal import JournalReplay, RequestJournal
+from repro.service.requests import (ServiceRequest, make_request_id,
+                                    parse_request)
 from repro.service.store import ResultStore
 from repro.service.telemetry import ServiceTelemetry
 
@@ -59,13 +71,17 @@ class _RequestState:
     request: ServiceRequest
     graph: JobGraph
     status: str = "running"        # "running" | "done" | "failed"
+    recovered: bool = False        # re-admitted by journal replay
     submitted: float = field(default_factory=time.monotonic)
 
     def summary(self) -> dict:
-        return {"request_id": self.request_id,
-                "kind": self.request.kind,
-                "status": self.status,
-                "nodes": self.graph.counts()}
+        out = {"request_id": self.request_id,
+               "kind": self.request.kind,
+               "status": self.status,
+               "nodes": self.graph.counts()}
+        if self.recovered:
+            out["recovered"] = True
+        return out
 
 
 class ServiceScheduler:
@@ -80,7 +96,8 @@ class ServiceScheduler:
                  timeout: Optional[float] = None, retries: int = 1,
                  use_cache: bool = True,
                  store: Optional[ResultStore] = None,
-                 telemetry: Optional[ServiceTelemetry] = None) -> None:
+                 telemetry: Optional[ServiceTelemetry] = None,
+                 journal: Optional[RequestJournal] = None) -> None:
         self.manifest = RunManifest(meta={"service": True})
         self.executor = JobExecutor(slots, timeout, retries,
                                     manifest=self.manifest)
@@ -88,6 +105,7 @@ class ServiceScheduler:
             else ResultStore(use_disk=use_cache)
         self.telemetry = telemetry if telemetry is not None \
             else ServiceTelemetry()
+        self.journal = journal
         self._lock = threading.RLock()
         self._wake = threading.Event()
         self._stopping = threading.Event()
@@ -110,7 +128,15 @@ class ServiceScheduler:
         graph = expand_request(request)
         with self._lock:
             self._seq += 1
-            request_id = f"r{self._seq:04d}-{request.signature}"
+            request_id = make_request_id(self._seq, request.doc)
+            # journal the admission *before* registering any state: if
+            # the fsync'd append fails the submission fails whole, and
+            # once it succeeds a crash at any later point can recover
+            # the request (its canonical doc re-expands the same
+            # content-addressed DAG)
+            if self.journal is not None:
+                self.journal.request_admitted(request_id, self._seq,
+                                              request.doc)
             state = _RequestState(request_id, request, graph)
             self._requests[request_id] = state
             self._queues[request_id] = deque()
@@ -132,12 +158,16 @@ class ServiceScheduler:
         self._wake.set()
         return response
 
-    def _claim_leaf(self, request_id: str, node: Node) -> None:
+    def _claim_leaf(self, request_id: str, node: Node,
+                    recovered: bool = False) -> None:
         status, payload = self.store.claim(node.key, (request_id, node.key))
         if status == "hit":
             node.state = "done"
             node.cache_hit = True
-            self.telemetry.job_event(node.key, "cache_hit", request_id)
+            node.recovered = recovered
+            self.telemetry.job_event(
+                node.key, "rehydrated" if recovered else "cache_hit",
+                request_id)
         elif status == "wait":
             # another request's claim is already executing this key:
             # join as a waiter, do not queue a second execution
@@ -146,7 +176,101 @@ class ServiceScheduler:
         else:
             node.state = "queued"
             self._queues[request_id].append(node)
-            self.telemetry.job_event(node.key, "queued", request_id)
+            self._journal_safe("job_claimed", node.key, request_id)
+            self.telemetry.job_event(
+                node.key, "requeued" if recovered else "queued",
+                request_id)
+
+    # -- restart recovery --------------------------------------------------
+
+    def recover(self, replay: JournalReplay) -> dict:
+        """Rebuild every unfinished request from a journal replay.
+
+        For each in-flight request the canonical document is re-parsed
+        and re-expanded into the identical content-addressed
+        :class:`JobGraph` (same request id, same admission seq). Leaves
+        are then settled against the replay:
+
+        * a key the journal marked failed replays as a failed node and
+          poisons its dependents (terminal outcomes are not retried);
+        * every other leaf goes through the normal single-flight claim,
+          so completed work is **re-hydrated** from the content-addressed
+          store — zero re-execution, byte-identical payloads — and only
+          genuinely unfinished leaves are **re-enqueued**;
+        * leader claims left by the dead process are implicitly reaped
+          (claims are per-process; the count is reported for telemetry).
+
+        Returns the recovery stats dict, also emitted as a
+        ``service_recovery`` metric record.
+        """
+        stale = replay.stale_claims()
+        stats = {"requests_resumed": 0, "requests_already_done": 0,
+                 "requests_unreplayable": 0, "leaves_rehydrated": 0,
+                 "leaves_requeued": 0, "failures_replayed": 0,
+                 "claims_reaped": len(stale)}
+        with self._lock:
+            self._seq = max(self._seq, replay.max_seq)
+            for rep in replay.requests.values():
+                if not rep.unfinished:
+                    stats["requests_already_done"] += 1
+                    continue
+                try:
+                    request = parse_request(rep.doc)
+                    graph = expand_request(request)
+                except Exception as exc:
+                    # a journalled doc this build can no longer parse
+                    # (schema drift): drop it rather than refuse to start
+                    stats["requests_unreplayable"] += 1
+                    self.telemetry.request_event(
+                        rep.request_id, str(rep.doc.get("kind", "?")),
+                        "unreplayable", jobs=0, error=str(exc))
+                    continue
+                state = _RequestState(rep.request_id, request, graph,
+                                      recovered=True)
+                self._requests[rep.request_id] = state
+                self._queues[rep.request_id] = deque()
+                self._in_use[rep.request_id] = 0
+                # re-admit into the *new* journal (the replayed one was
+                # archived), preserving the original admission seq so the
+                # request id stays stable across any number of restarts
+                if self.journal is not None:
+                    self.journal.request_admitted(rep.request_id, rep.seq,
+                                                  request.doc)
+                self.telemetry.request_event(rep.request_id, request.kind,
+                                             "recovered",
+                                             jobs=len(graph.leaves()))
+                for node in graph.leaves():
+                    if node.key in replay.failed:
+                        node.state = "failed"
+                        node.recovered = True
+                        node.error = replay.failed[node.key] \
+                            or "failed before restart"
+                        stats["failures_replayed"] += 1
+                        self._journal_safe("job_failed", node.key,
+                                           node.error)
+                        self.telemetry.job_event(node.key, "failed",
+                                                 rep.request_id,
+                                                 error=node.error)
+                        self._poison_from(state, node.key)
+                    else:
+                        self._claim_leaf(rep.request_id, node,
+                                         recovered=True)
+                        if node.state == "done":
+                            stats["leaves_rehydrated"] += 1
+                        else:
+                            stats["leaves_requeued"] += 1
+                stats["requests_resumed"] += 1
+                self._advance(state)
+        self.telemetry.recovery_event(
+            "resumed",
+            requests_resumed=stats["requests_resumed"],
+            leaves_rehydrated=stats["leaves_rehydrated"],
+            leaves_requeued=stats["leaves_requeued"],
+            claims_reaped=stats["claims_reaped"],
+            requests_already_done=stats["requests_already_done"],
+            failures_replayed=stats["failures_replayed"])
+        self._wake.set()
+        return stats
 
     # -- dispatch and work stealing ---------------------------------------
 
@@ -182,7 +306,20 @@ class ServiceScheduler:
             node.state = "running"
             self._running_owner[node.key] = rid
             self._in_use[rid] += 1
-            self.executor.submit(node.job)
+            try:
+                self.executor.submit(node.job)
+            except Exception as exc:
+                # leader raised between claim() and execution: release
+                # the single-flight claim and fail every claimant —
+                # a leaked claim would park the waiters forever
+                self._running_owner.pop(node.key, None)
+                self._in_use[rid] = max(0, self._in_use[rid] - 1)
+                error = f"executor submit failed: {exc}"
+                self._journal_safe("job_failed", node.key, error)
+                self.telemetry.job_event(node.key, "failed", rid,
+                                         error=error)
+                self._fail_waiters(self.store.release(node.key), error)
+                continue
             if victim is not None:
                 self.telemetry.job_event(node.key, "steal",
                                          request_id=victim, thief=rid)
@@ -208,7 +345,25 @@ class ServiceScheduler:
             self._in_use[owner] = max(0, self._in_use[owner] - 1)
 
         if event.kind == "ok":
-            waiters = self.store.complete(key, event.payload, leaf=True)
+            try:
+                waiters = self.store.complete(key, event.payload,
+                                              leaf=True)
+            except Exception as exc:
+                # the commit raised between claim() and complete():
+                # release the claim and fail the claimants rather than
+                # leaking the in-flight entry and parking them forever
+                error = f"result commit failed: {exc}"
+                self._journal_safe("job_failed", key, error)
+                self.manifest.record_job(event.job, "failed",
+                                         wall_time=event.wall_time,
+                                         attempts=event.attempts,
+                                         error=error)
+                self.telemetry.job_event(key, "failed", owner,
+                                         attempts=event.attempts,
+                                         error=error)
+                self._fail_waiters(self.store.release(key), error)
+                return
+            self._journal_safe("job_completed", key)
             self.manifest.record_job(event.job, "ok",
                                      wall_time=event.wall_time,
                                      attempts=event.attempts,
@@ -226,6 +381,7 @@ class ServiceScheduler:
                 self._advance(state)
         else:                                   # "failed" | "timeout"
             waiters = self.store.fail(key)
+            self._journal_safe("job_failed", key, _last_line(event.error))
             self.manifest.record_job(event.job, event.kind,
                                      wall_time=event.wall_time,
                                      attempts=event.attempts,
@@ -233,16 +389,22 @@ class ServiceScheduler:
             self.telemetry.job_event(key, event.kind, owner,
                                      attempts=event.attempts,
                                      error=_last_line(event.error))
-            for request_id, node_key in waiters:
-                state = self._requests.get(request_id)
-                if state is None:
-                    continue
-                node = state.graph.nodes.get(node_key)
-                if node is not None and not node.terminal:
-                    node.state = "failed"
-                    node.error = _last_line(event.error)
-                self._poison_from(state, node_key)
-                self._advance(state)
+            self._fail_waiters(waiters, _last_line(event.error))
+
+    def _fail_waiters(self, waiters: Iterable[Tuple[str, str]],
+                      error: str) -> None:
+        """Mark every claimant's node failed, poison its dependents,
+        and settle the affected requests."""
+        for request_id, node_key in waiters:
+            state = self._requests.get(request_id)
+            if state is None:
+                continue
+            node = state.graph.nodes.get(node_key)
+            if node is not None and not node.terminal:
+                node.state = "failed"
+                node.error = error
+            self._poison_from(state, node_key)
+            self._advance(state)
 
     def _poison_from(self, state: _RequestState, key: str) -> None:
         for node in state.graph.poison(key):
@@ -276,9 +438,26 @@ class ServiceScheduler:
                                          state.request_id)
         if state.status == "running" and graph.terminal:
             state.status = "failed" if graph.failed else "done"
+            self._journal_safe("request_finished", state.request_id,
+                               state.status)
             self.telemetry.request_event(state.request_id,
                                          state.request.kind, state.status,
                                          jobs=len(graph.leaves()))
+
+    def _journal_safe(self, method: str, *args) -> None:
+        """Journal a mid-flight transition; on an I/O failure, disable
+        journaling (degraded but live) instead of killing the scheduler
+        thread. Admission writes, by contrast, propagate: a request that
+        cannot be made durable is rejected whole at submit time."""
+        if self.journal is None:
+            return
+        try:
+            getattr(self.journal, method)(*args)
+        except OSError as exc:
+            self.journal = None
+            print(f"warning: service journal disabled "
+                  f"({method} failed: {exc}); restart recovery will not "
+                  f"cover requests from this point on", file=sys.stderr)
 
     # -- scheduling passes ------------------------------------------------
 
@@ -342,6 +521,8 @@ class ServiceScheduler:
         self._thread.join()
         self._thread = None
         self.executor.shutdown()
+        if self.journal is not None:
+            self.journal.close()
 
     # -- snapshots (any thread) -------------------------------------------
 

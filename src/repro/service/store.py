@@ -18,6 +18,15 @@ Single-flight: the first claimant of a missing key becomes the
 :meth:`fail`); concurrent claimants of the same key become **waiters**
 and are handed the leader's outcome — one execution, many waiters, even
 across unrelated requests submitted by different clients.
+
+Claims are in-memory and therefore die with the process; durability is
+layered on top by the scheduler's request journal
+(:mod:`repro.service.journal`), which records every leader claim and
+terminal outcome so a restarted daemon can reap the dead process's
+stale claims and re-enqueue only genuinely unfinished work. A leader
+that raises between :meth:`claim` and its terminal call must
+:meth:`release` the key (the scheduler wraps every leader execution
+path this way) — a leaked claim would park every waiter forever.
 """
 
 from __future__ import annotations
@@ -119,6 +128,14 @@ class ResultStore:
         the waiter list. Nothing is stored — a later claim re-executes."""
         with self._lock:
             return self._inflight.pop(key, [])
+
+    def release(self, key: str) -> List[object]:
+        """Abandon an in-flight claim without an outcome (the leader
+        raised between :meth:`claim` and :meth:`complete`/:meth:`fail`).
+        Semantically identical to :meth:`fail` — the key becomes
+        claimable again and the returned waiters must be failed by the
+        caller — but named for the try/finally cleanup path."""
+        return self.fail(key)
 
     def put_synthesis(self, key: str, payload: dict) -> None:
         """Store a synthesis payload (in-memory content address)."""

@@ -69,6 +69,18 @@ class ServiceTelemetry:
         return self._emit("service_job", key=key, event=event,
                           request_id=request_id, **extra)
 
+    def recovery_event(self, event: str, requests_resumed: int = 0,
+                       leaves_rehydrated: int = 0,
+                       leaves_requeued: int = 0, claims_reaped: int = 0,
+                       **extra) -> dict:
+        """One daemon-restart recovery summary (journal replay or
+        ``--fresh`` archival)."""
+        return self._emit("service_recovery", event=event,
+                          requests_resumed=requests_resumed,
+                          leaves_rehydrated=leaves_rehydrated,
+                          leaves_requeued=leaves_requeued,
+                          claims_reaped=claims_reaped, **extra)
+
     # -- consumers --------------------------------------------------------
 
     def records(self, kind: Optional[str] = None,
@@ -93,3 +105,18 @@ class ServiceTelemetry:
     def seq(self) -> int:
         with self._lock:
             return self._seq
+
+    @property
+    def oldest_seq(self) -> int:
+        """Seq of the oldest record the bounded ring still retains.
+
+        When the ring is empty this is ``seq + 1`` (the next seq to be
+        written), so ``oldest_seq - since - 1`` is always the exact
+        count of records a ``since``-based poller can no longer read —
+        the ring's eviction is visible instead of silently presenting a
+        hole-free stream.
+        """
+        with self._lock:
+            if self._records:
+                return self._records[0]["seq"]
+            return self._seq + 1

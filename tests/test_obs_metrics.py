@@ -39,6 +39,9 @@ def good_record(kind="result", **overrides):
                                 event="accepted", jobs=4),
         "service_job": dict(key="v3-leela-400-400-1234-abc", event="started",
                             request_id="r0001-abc"),
+        "service_recovery": dict(event="resumed", requests_resumed=1,
+                                 leaves_rehydrated=2, leaves_requeued=1,
+                                 claims_reaped=1),
     }[kind]
     base.update(overrides)
     return {"schema": METRIC_SCHEMA_VERSION, "kind": kind, **base}
