@@ -14,6 +14,8 @@ serve     run the simulation service daemon: HTTP request intake, job-DAG
           scheduling with work stealing, content-addressed result store
 submit    submit a run/compare/sweep request to a serve daemon
 status    query a serve daemon (overview, or one request's detail)
+spans     fetch one request's trace spans from a serve daemon (tree
+          view, --json, --perfetto Chrome trace-event export)
 list      list workloads and predefined configurations
 describe  print the Table III-style configuration summary
 
@@ -317,6 +319,18 @@ def build_parser() -> argparse.ArgumentParser:
     status_p.add_argument("--url", default="http://127.0.0.1:8023")
     status_p.add_argument("--json", action="store_true", dest="as_json",
                           help="print raw JSON responses")
+
+    spans_p = sub.add_parser(
+        "spans", help="fetch one request's trace spans from a daemon")
+    spans_p.add_argument("request_id",
+                         help="request id to trace (live or finished)")
+    spans_p.add_argument("--url", default="http://127.0.0.1:8023")
+    spans_p.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the raw span records as JSON")
+    spans_p.add_argument("--perfetto", default=None, metavar="OUT",
+                         help="also write the trace as validated Chrome "
+                              "trace-event JSON (chrome://tracing, "
+                              "Perfetto)")
 
     sub.add_parser("list", help="list workloads and configurations")
 
@@ -880,6 +894,39 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _cmd_spans(args) -> int:
+    from repro.obs.spans import (render_span_tree, summarize_spans,
+                                 write_spans_chrome_trace)
+    from repro.service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        payload = client.spans(args.request_id)
+    except ServiceError as exc:
+        raise SystemExit(f"spans: {exc}")
+    spans = payload["spans"]
+    if args.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"trace {args.request_id} "
+              f"({len(spans)} span(s), epoch_unix="
+              f"{payload['epoch_unix']:.3f})")
+        print(render_span_tree(spans))
+        summary = summarize_spans(spans)
+        rows = [(name, str(entry["count"]),
+                 f"{entry['total_us'] / 1000.0:.3f}",
+                 f"{entry['max_us'] / 1000.0:.3f}")
+                for name, entry in sorted(summary.items())]
+        print(render_table(["phase", "count", "total ms", "max ms"],
+                           rows, title="phase summary"))
+    if args.perfetto:
+        write_spans_chrome_trace(args.perfetto, spans,
+                                 process_name=f"repro-service "
+                                              f"{args.request_id}")
+        print(f"wrote Chrome trace-event JSON to {args.perfetto} "
+              f"(chrome://tracing, Perfetto)", file=sys.stderr)
+    return 0
+
+
 def _cmd_list(_args) -> int:
     rows = [(n, "SPEC CPU2017int substitute") for n in SPEC_NAMES]
     rows += [(n, "GAP kernel") for n in GAP_NAMES]
@@ -921,6 +968,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "status": _cmd_status,
+    "spans": _cmd_spans,
     "list": _cmd_list,
     "characterize": _cmd_characterize,
     "describe": _cmd_describe,

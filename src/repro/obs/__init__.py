@@ -82,6 +82,17 @@ from repro.obs.metrics import (
     using_metric_stream,
     validate_metric_record,
 )
+from repro.obs.spans import (
+    SPAN_NAMES,
+    SpanError,
+    SpanNode,
+    check_spans,
+    render_span_tree,
+    span_tree,
+    spans_to_chrome_trace,
+    summarize_spans,
+    write_spans_chrome_trace,
+)
 
 __all__ = [
     "CPI_GROUPS", "CPI_LEAVES", "CpiStack", "CpiStackError",
@@ -91,11 +102,13 @@ __all__ = [
     "EV_SQUASH", "EVENT_NAMES",
     "EventRecorder", "ExportFormatError", "F_BRANCH", "F_MISPREDICT",
     "F_RESTORED", "F_WRONG_PATH", "METRIC_KINDS", "METRIC_SCHEMA_VERSION",
-    "MetricSchemaError", "MetricStream", "MultiSink", "ObsSink", "UopLife",
-    "apf_coverage", "chrome_trace", "cpi_slot_deltas",
+    "MetricSchemaError", "MetricStream", "MultiSink", "ObsSink",
+    "SPAN_NAMES", "SpanError", "SpanNode", "UopLife",
+    "apf_coverage", "check_spans", "chrome_trace", "cpi_slot_deltas",
     "current_metric_stream", "diff_stacks", "load_stacks", "o3_pipeview",
-    "replay_timelines", "result_metric_fields", "stack_from_counters",
-    "stack_from_result", "using_metric_stream", "validate_chrome_trace",
-    "validate_metric_record", "validate_o3_trace", "write_chrome_trace",
-    "write_o3_pipeview",
+    "render_span_tree", "replay_timelines", "result_metric_fields",
+    "span_tree", "spans_to_chrome_trace", "stack_from_counters",
+    "stack_from_result", "summarize_spans", "using_metric_stream",
+    "validate_chrome_trace", "validate_metric_record", "validate_o3_trace",
+    "write_chrome_trace", "write_o3_pipeview", "write_spans_chrome_trace",
 ]

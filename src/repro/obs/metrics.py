@@ -109,6 +109,20 @@ METRIC_KINDS = {
         "event": (str,),
         "request_id": (str,),
     },
+    # one timed phase of a service request's lifecycle (repro.obs.spans
+    # taxonomy): trace_id is the owning request id, span_id is unique
+    # within the trace, parent_id is "" for the root "request" span,
+    # and start_us/duration_us are wall-clock microseconds since the
+    # tracer's epoch. Emitted in a batch when the request turns
+    # terminal, so the JSONL mirror carries whole traces.
+    "trace_span": {
+        "trace_id": (str,),
+        "span_id": (str,),
+        "parent_id": (str,),
+        "name": (str,),
+        "start_us": (int,),
+        "duration_us": (int,),
+    },
     # one daemon-restart recovery summary ("resumed" after a journal
     # replay, "fresh" when --fresh archived the journal unreplayed):
     # how many in-flight requests were rebuilt, how many completed

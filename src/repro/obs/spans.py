@@ -1,0 +1,268 @@
+"""Trace spans: reconstructing a service request's lifecycle as a tree.
+
+A **span** is one timed phase of a request's life — the whole request
+(the root), its admission (parse + DAG expansion + claims), each job's
+``queued`` / ``claim_wait`` / ``execute`` / ``commit`` phase, each
+synthesis evaluation — expressed as a plain dict that doubles as the
+``trace_span`` JSONL metric record (:data:`repro.obs.metrics.METRIC_KINDS`):
+
+* ``trace_id``   — the owning request id (one trace per request);
+* ``span_id``    — unique within the trace (``"s0"``, ``"s1"``, ...);
+* ``parent_id``  — the enclosing span's id, ``""`` for the root;
+* ``name``       — the phase name (see :data:`SPAN_NAMES`);
+* ``start_us``   — microseconds since the tracer's epoch;
+* ``duration_us``— span length in microseconds (>= 1 once closed).
+
+Extra fields (``key``, ``label``, ``error``, ``stolen_by``, ...) ride
+along under the metric schema's open-extras rule. Spans are produced by
+:class:`repro.service.tracing.RequestTracer`; this module is the
+consumer side — pure functions over span-record lists so the CLI, the
+tests, and the exporters can share one implementation:
+
+* :func:`span_tree` / :func:`render_span_tree` — parent/child
+  reconstruction and the ``repro spans`` tree view;
+* :func:`check_spans` — structural validation (unique ids, resolvable
+  parents, children contained in their parents, jobs summing
+  consistently with the end-to-end span);
+* :func:`spans_to_chrome_trace` / :func:`write_spans_chrome_trace` —
+  the Perfetto export, validated by the same
+  :func:`~repro.obs.exporters.validate_chrome_trace` contract the
+  pipeline traces use, so a sweep request renders on a timeline next
+  to them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.exporters import validate_chrome_trace
+
+__all__ = ["SPAN_NAMES", "SpanError", "SpanNode", "check_spans",
+           "render_span_tree", "span_tree", "spans_to_chrome_trace",
+           "summarize_spans", "write_spans_chrome_trace"]
+
+#: the span taxonomy, in lifecycle order (ARCHITECTURE §13): request is
+#: the root; admission covers parse+expand+claims; per-job phases are
+#: queued (ready-deque residence), claim_wait (dispatch to worker
+#: start, or — for a request joining another request's in-flight
+#: execution — the whole wait on the foreign leader), execute (worker
+#: wall time), commit (result-store write); cache_hit / rehydrated are
+#: instant settlements; synthesize covers one synthesis evaluation.
+SPAN_NAMES = ("request", "admission", "queued", "claim_wait", "execute",
+              "commit", "cache_hit", "rehydrated", "synthesize", "failed")
+
+#: Perfetto struggles past ~100 tracks: job lanes wrap at this pool size
+_LANES = 32
+
+
+class SpanError(ValueError):
+    """A span list violates the structural contract."""
+
+
+@dataclass
+class SpanNode:
+    """One span plus its children, as reconstructed by :func:`span_tree`."""
+
+    record: dict
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def span_id(self) -> str:
+        return self.record["span_id"]
+
+    @property
+    def name(self) -> str:
+        return self.record["name"]
+
+    @property
+    def start_us(self) -> int:
+        return self.record["start_us"]
+
+    @property
+    def end_us(self) -> int:
+        return self.record["start_us"] + self.record["duration_us"]
+
+
+def span_tree(spans: Iterable[dict]) -> List[SpanNode]:
+    """Reconstruct the parent/child tree; returns the root nodes.
+
+    Children are ordered by ``start_us`` (ties by span id) so the tree
+    renders in lifecycle order regardless of emission order.
+    """
+    nodes: Dict[str, SpanNode] = {}
+    for record in spans:
+        node = SpanNode(record)
+        if node.span_id in nodes:
+            raise SpanError(f"duplicate span id {node.span_id!r}")
+        nodes[node.span_id] = node
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent_id = node.record.get("parent_id", "")
+        if not parent_id:
+            roots.append(node)
+            continue
+        parent = nodes.get(parent_id)
+        if parent is None:
+            raise SpanError(
+                f"span {node.span_id!r} names unknown parent "
+                f"{parent_id!r}")
+        parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: (n.start_us, n.span_id))
+    roots.sort(key=lambda n: (n.start_us, n.span_id))
+    return roots
+
+
+def check_spans(spans: Sequence[dict],
+                tolerance_us: int = 2000) -> List[SpanNode]:
+    """Validate a trace's structure; returns the roots on success.
+
+    Checks, raising :class:`SpanError` on the first violation:
+
+    * ids unique, every ``parent_id`` resolves (via :func:`span_tree`);
+    * every span has integer ``start_us >= 0`` and ``duration_us >= 1``;
+    * every child lies within its parent's ``[start, end]`` window,
+      give or take ``tolerance_us`` (phases are stitched from separate
+      clock reads, so exact nesting is not guaranteed at the edges);
+    * per trace, each job's phase spans sum to no more than the root's
+      end-to-end duration plus the tolerance — the consistency the
+      acceptance criteria ask for ("per-job spans sum consistently
+      with the request's end-to-end span").
+    """
+    for record in spans:
+        for fld in ("trace_id", "span_id", "name"):
+            if not isinstance(record.get(fld), str) or not record[fld]:
+                raise SpanError(f"span is missing {fld!r}: {record}")
+        start = record.get("start_us")
+        duration = record.get("duration_us")
+        if not isinstance(start, int) or start < 0:
+            raise SpanError(
+                f"span {record['span_id']!r} needs integer start_us >= 0, "
+                f"got {start!r}")
+        if not isinstance(duration, int) or duration < 1:
+            raise SpanError(
+                f"span {record['span_id']!r} needs integer "
+                f"duration_us >= 1, got {duration!r}")
+    roots = span_tree(spans)
+
+    def walk(parent: SpanNode) -> None:
+        for child in parent.children:
+            if (child.start_us + tolerance_us < parent.start_us
+                    or child.end_us > parent.end_us + tolerance_us):
+                raise SpanError(
+                    f"span {child.span_id!r} ({child.name}) "
+                    f"[{child.start_us}, {child.end_us}] escapes parent "
+                    f"{parent.span_id!r} ({parent.name}) "
+                    f"[{parent.start_us}, {parent.end_us}]")
+            walk(child)
+
+    for root in roots:
+        walk(root)
+        e2e = root.record["duration_us"]
+        per_key: Dict[str, int] = {}
+        for record in spans:
+            if record["trace_id"] != root.record["trace_id"]:
+                continue
+            key = record.get("key")
+            if key and record["name"] in ("queued", "claim_wait",
+                                          "execute", "commit"):
+                per_key[key] = per_key.get(key, 0) + record["duration_us"]
+        for key, total in per_key.items():
+            if total > e2e + tolerance_us:
+                raise SpanError(
+                    f"job {key!r} phases sum to {total}us, exceeding "
+                    f"the request's end-to-end {e2e}us")
+    return roots
+
+
+def render_span_tree(spans: Sequence[dict]) -> str:
+    """ASCII tree of one trace, durations in milliseconds."""
+    roots = span_tree(spans)
+    lines: List[str] = []
+
+    def fmt(node: SpanNode) -> str:
+        record = node.record
+        ms = record["duration_us"] / 1000.0
+        label = record.get("label") or record.get("key", "")
+        suffix = f"  [{label}]" if label else ""
+        if record.get("in_progress"):
+            suffix += "  (in progress)"
+        if record.get("error"):
+            suffix += f"  !! {record['error']}"
+        return f"{node.name:<11} {ms:10.3f} ms{suffix}"
+
+    def walk(node: SpanNode, prefix: str, is_last: bool) -> None:
+        branch = "└─ " if is_last else "├─ "
+        lines.append(prefix + branch + fmt(node))
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(node.children):
+            walk(child, child_prefix, index == len(node.children) - 1)
+
+    for root in roots:
+        lines.append(fmt(root))
+        for index, child in enumerate(root.children):
+            walk(child, "", index == len(root.children) - 1)
+    return "\n".join(lines)
+
+
+def summarize_spans(spans: Sequence[dict]) -> Dict[str, dict]:
+    """Per-phase totals: ``{name: {count, total_us, max_us}}``."""
+    out: Dict[str, dict] = {}
+    for record in spans:
+        entry = out.setdefault(record["name"],
+                               {"count": 0, "total_us": 0, "max_us": 0})
+        entry["count"] += 1
+        entry["total_us"] += record["duration_us"]
+        entry["max_us"] = max(entry["max_us"], record["duration_us"])
+    return out
+
+
+def spans_to_chrome_trace(spans: Sequence[dict],
+                          process_name: str = "repro-service") -> dict:
+    """Render a span list as a Chrome trace-event document.
+
+    Layout mirrors the pipeline exporter's conventions: ``ts``/``dur``
+    are microseconds (here they really are — wall time, unlike the
+    cycle-denominated pipeline traces), the request root and its
+    admission/synthesis phases sit on tid 0, and each job key gets its
+    own lane from a bounded pool so concurrent executions stack
+    visually. The result passes
+    :func:`~repro.obs.exporters.validate_chrome_trace`.
+    """
+    trace: List[dict] = [{
+        "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+        "name": "process_name", "args": {"name": process_name},
+    }]
+    lanes: Dict[str, int] = {}
+    for record in sorted(spans, key=lambda r: (r["start_us"],
+                                               r["span_id"])):
+        key = record.get("key", "")
+        if key:
+            lane = lanes.setdefault(key, 1 + (len(lanes) % _LANES))
+        else:
+            lane = 0
+        args = {k: v for k, v in record.items()
+                if k not in ("name", "start_us", "duration_us")}
+        trace.append({
+            "ph": "X", "pid": 0, "tid": lane,
+            "ts": record["start_us"],
+            "dur": max(1, record["duration_us"]),
+            "name": record["name"]
+            + (f" {record['label']}" if record.get("label") else ""),
+            "cat": record["name"],
+            "args": args,
+        })
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_spans_chrome_trace(path, spans: Sequence[dict],
+                             process_name: str = "repro-service") -> dict:
+    """Export, validate, and write the Perfetto trace; returns the doc."""
+    doc = spans_to_chrome_trace(spans, process_name=process_name)
+    validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc

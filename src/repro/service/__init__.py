@@ -23,11 +23,15 @@ worker pool into a long-lived experiment fleet:
 * :mod:`repro.service.scheduler` — DAG scheduling with per-request
   ready queues and work stealing over one
   :class:`~repro.analysis.runner.JobExecutor` worker pool.
+* :mod:`repro.service.tracing` — per-request span trees stitched from
+  the scheduler's instrumentation points (the
+  :mod:`repro.obs.spans` taxonomy), streaming latency histograms, and
+  the Prometheus text exposition behind ``/metrics/prom``.
 * :mod:`repro.service.daemon` — the stdlib-only asyncio HTTP front end
   (``/submit``, ``/status``, ``/jobs``, ``/result/<key>``,
-  ``/metrics``, ``/healthz``).
+  ``/metrics``, ``/metrics/prom``, ``/spans/<id>``, ``/healthz``).
 * :mod:`repro.service.client` — a urllib client used by
-  ``repro submit`` / ``repro status`` and the tests.
+  ``repro submit`` / ``repro status`` / ``repro spans`` and the tests.
 """
 
 from repro.service.client import ServiceClient, ServiceError
@@ -43,12 +47,17 @@ from repro.service.requests import (RequestError, ServiceRequest,
 from repro.service.scheduler import ServiceScheduler
 from repro.service.store import ResultStore
 from repro.service.telemetry import ServiceTelemetry
+from repro.service.tracing import (LatencyHistogram, PromFormatError,
+                                   RequestTracer, render_prometheus,
+                                   validate_prometheus_text)
 
 __all__ = [
     "JOURNAL_SCHEMA_VERSION", "JobGraph", "JournalError", "JournalReplay",
-    "Node", "RequestError", "RequestJournal", "ResultStore", "Service",
+    "LatencyHistogram", "Node", "PromFormatError", "RequestError",
+    "RequestJournal", "RequestTracer", "ResultStore", "Service",
     "ServiceClient", "ServiceError", "ServiceRequest", "ServiceScheduler",
     "ServiceTelemetry", "archive_journal", "build_service",
     "config_from_spec", "default_journal_path", "expand_request",
-    "make_request_id", "parse_request", "replay_journal",
+    "make_request_id", "parse_request", "render_prometheus",
+    "replay_journal", "validate_prometheus_text",
 ]

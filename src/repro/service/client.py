@@ -82,6 +82,26 @@ class ServiceClient:
     def result(self, key: str) -> dict:
         return self._call(f"/result/{key}")
 
+    def spans(self, request_id: str) -> dict:
+        """The request's trace spans (``repro.obs.spans`` records) plus
+        the tracer's ``epoch_unix`` for wall-clock correlation."""
+        return self._call(f"/spans/{request_id}")
+
+    def metrics_prom(self) -> str:
+        """One raw Prometheus text-exposition scrape (not JSON)."""
+        request = urllib.request.Request(
+            self.url + "/metrics/prom", headers={"Accept": "text/plain"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(f"/metrics/prom: HTTP {exc.code}",
+                               status=exc.code) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach {self.url}: {exc}") from exc
+
     def metrics(self, kind: Optional[str] = None,
                 since: int = 0) -> dict:
         """Buffered metric records with explicit eviction accounting.
@@ -107,7 +127,7 @@ class ServiceClient:
     # -- conveniences -----------------------------------------------------
 
     def wait(self, request_id: str, timeout: float = 300.0,
-             poll: float = 0.2,
+             poll: float = 0.2, poll_max: float = 2.0,
              tolerate_unreachable: bool = False) -> dict:
         """Poll ``/status/<id>`` until the request is terminal.
 
@@ -119,8 +139,14 @@ class ServiceClient:
         connection failures are retried until the deadline instead of
         raising, so a caller can wait across a daemon restart (the
         journal preserves the request id).
+
+        The poll interval starts at ``poll`` and backs off
+        exponentially (x1.6) to at most ``poll_max``: short requests
+        still get sub-second latency while a long sweep isn't hammered
+        with a status request five times a second for an hour.
         """
         deadline = time.monotonic() + timeout
+        interval = max(0.001, poll)
         while True:
             try:
                 detail = self.status(request_id)
@@ -134,7 +160,8 @@ class ServiceClient:
                 raise ServiceError(
                     f"request {request_id} still running after "
                     f"{timeout:g}s")
-            time.sleep(poll)
+            time.sleep(interval)
+            interval = min(poll_max, interval * 1.6)
 
     def wait_healthy(self, timeout: float = 30.0,
                      poll: float = 0.2) -> dict:

@@ -6,7 +6,7 @@ store, and the telemetry buffer behind a small hand-rolled HTTP/1.1
 server on asyncio streams — no third-party web framework, matching the
 repo's stdlib+numpy dependency floor.
 
-Endpoints (all JSON):
+Endpoints (all JSON except ``/metrics/prom``):
 
 * ``POST /submit`` — accept a run/compare/sweep request document;
   returns ``202 {"request_id": ...}`` (400 on a malformed document).
@@ -18,7 +18,13 @@ Endpoints (all JSON):
 * ``GET /result/<key>`` — the content-addressed payload at ``key``
   (a leaf's cache entry or a synthesis document).
 * ``GET /metrics[?kind=...&since=<seq>]`` — buffered service metric
-  records (the JSONL schema, see :mod:`repro.service.telemetry`).
+  records (the JSONL schema, see :mod:`repro.service.telemetry`);
+  an unknown ``kind`` is a 400 naming the allowed kinds.
+* ``GET /metrics/prom`` — one Prometheus text-exposition scrape
+  (version 0.0.4): event counters, scheduler gauges, latency
+  histograms (see :mod:`repro.service.tracing`).
+* ``GET /spans/<request_id>`` — the request's trace spans, live
+  (provisional in-progress root) or finished (verbatim).
 * ``GET /healthz`` — liveness plus summary counters.
 
 Handlers only read shared state under the scheduler's lock or enqueue
@@ -36,12 +42,14 @@ from pathlib import Path
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.metrics import METRIC_KINDS
 from repro.service.journal import (RequestJournal, archive_journal,
                                    default_journal_path, replay_journal)
 from repro.service.requests import RequestError
 from repro.service.scheduler import ServiceScheduler
 from repro.service.store import ResultStore
 from repro.service.telemetry import ServiceTelemetry
+from repro.service.tracing import render_prometheus
 
 __all__ = ["Service", "build_service"]
 
@@ -51,6 +59,22 @@ _KEY_RE = re.compile(r"^[A-Za-z0-9._=,-]+$")
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
             413: "Payload Too Large", 500: "Internal Server Error"}
+
+#: the standard Prometheus text exposition content type
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _TextBody:
+    """A route payload served verbatim as text instead of JSON
+    (``/metrics/prom`` — Prometheus scrapers expect the 0.0.4 text
+    content type, not a JSON wrapper)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str,
+                 content_type: str = "text/plain; charset=utf-8") -> None:
+        self.text = text
+        self.content_type = content_type
 
 
 class Service:
@@ -143,9 +167,14 @@ class Service:
         except Exception as exc:   # defensive: a handler bug must not
             status, payload = 500, {"error": f"{type(exc).__name__}: "
                                              f"{exc}"}
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        if isinstance(payload, _TextBody):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+            content_type = "application/json"
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n").encode("latin-1")
         try:
@@ -250,6 +279,16 @@ class Service:
             if payload is None:
                 return 404, {"error": f"no result stored for {key!r}"}
             return 200, {"key": key, "payload": payload}
+        if path == "/metrics/prom":
+            return 200, _TextBody(render_prometheus(self.scheduler),
+                                  PROM_CONTENT_TYPE)
+        if path.startswith("/spans/"):
+            request_id = path[len("/spans/"):]
+            spans = self.scheduler.tracer.spans(request_id)
+            if spans is None:
+                return 404, {"error": f"unknown request {request_id!r}"}
+            return 200, {"request_id": request_id, "spans": spans,
+                         "epoch_unix": self.scheduler.tracer.epoch_unix}
         if path == "/metrics":
             since = 0
             if "since" in query:
@@ -257,9 +296,15 @@ class Service:
                     since = int(query["since"])
                 except ValueError:
                     return 400, {"error": "since must be an integer"}
+            kind = query.get("kind") or None
+            if kind is not None and kind not in METRIC_KINDS:
+                # an unknown kind silently matching nothing looks
+                # exactly like "no records yet" to a poller — reject
+                # it loudly with the allowed vocabulary instead
+                return 400, {"error": f"unknown metric kind {kind!r}",
+                             "allowed_kinds": sorted(METRIC_KINDS)}
             telemetry = self.scheduler.telemetry
-            records = telemetry.records(
-                kind=query.get("kind") or None, since=since)
+            records = telemetry.records(kind=kind, since=since)
             oldest = telemetry.oldest_seq
             # "gap": records in (since, oldest) evicted from the bounded
             # ring — the poller's stream has a hole it must not paper

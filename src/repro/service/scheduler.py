@@ -57,6 +57,7 @@ from repro.service.requests import (ServiceRequest, make_request_id,
                                     parse_request)
 from repro.service.store import ResultStore
 from repro.service.telemetry import ServiceTelemetry
+from repro.service.tracing import RequestTracer
 
 __all__ = ["SchedulerError", "ServiceScheduler"]
 
@@ -105,6 +106,7 @@ class ServiceScheduler:
             else ResultStore(use_disk=use_cache)
         self.telemetry = telemetry if telemetry is not None \
             else ServiceTelemetry()
+        self.tracer = RequestTracer(self.telemetry)
         self.journal = journal
         self._lock = threading.RLock()
         self._wake = threading.Event()
@@ -124,6 +126,7 @@ class ServiceScheduler:
         Raises :class:`~repro.service.requests.RequestError` on a
         malformed document; returns the acceptance response.
         """
+        admitted_us = self.tracer.now_us()
         request = parse_request(doc)
         graph = expand_request(request)
         with self._lock:
@@ -144,6 +147,8 @@ class ServiceScheduler:
             leaves = graph.leaves()
             self.telemetry.request_event(request_id, request.kind,
                                          "accepted", jobs=len(leaves))
+            self.tracer.request_admitted(request_id, request.kind,
+                                         admitted_us)
             for node in leaves:
                 self._claim_leaf(request_id, node)
             self._advance(state)
@@ -168,11 +173,14 @@ class ServiceScheduler:
             self.telemetry.job_event(
                 node.key, "rehydrated" if recovered else "cache_hit",
                 request_id)
+            self.tracer.job_cache_hit(request_id, node.key, node.label,
+                                      rehydrated=recovered)
         elif status == "wait":
             # another request's claim is already executing this key:
             # join as a waiter, do not queue a second execution
             node.state = "queued"
             self.telemetry.job_event(node.key, "dedup", request_id)
+            self.tracer.job_dedup(request_id, node.key, node.label)
         else:
             node.state = "queued"
             self._queues[request_id].append(node)
@@ -180,6 +188,7 @@ class ServiceScheduler:
             self.telemetry.job_event(
                 node.key, "requeued" if recovered else "queued",
                 request_id)
+            self.tracer.job_queued(request_id, node.key, node.label)
 
     # -- restart recovery --------------------------------------------------
 
@@ -214,6 +223,7 @@ class ServiceScheduler:
                 if not rep.unfinished:
                     stats["requests_already_done"] += 1
                     continue
+                resumed_us = self.tracer.now_us()
                 try:
                     request = parse_request(rep.doc)
                     graph = expand_request(request)
@@ -239,6 +249,8 @@ class ServiceScheduler:
                 self.telemetry.request_event(rep.request_id, request.kind,
                                              "recovered",
                                              jobs=len(graph.leaves()))
+                self.tracer.request_admitted(rep.request_id, request.kind,
+                                             resumed_us, recovered=True)
                 for node in graph.leaves():
                     if node.key in replay.failed:
                         node.state = "failed"
@@ -251,6 +263,9 @@ class ServiceScheduler:
                         self.telemetry.job_event(node.key, "failed",
                                                  rep.request_id,
                                                  error=node.error)
+                        self.tracer.job_failed_instant(
+                            rep.request_id, node.key, node.label,
+                            node.error)
                         self._poison_from(state, node.key)
                     else:
                         self._claim_leaf(rep.request_id, node,
@@ -318,8 +333,11 @@ class ServiceScheduler:
                 self._journal_safe("job_failed", node.key, error)
                 self.telemetry.job_event(node.key, "failed", rid,
                                          error=error)
+                self.tracer.job_finished(node.key, ok=False, error=error)
                 self._fail_waiters(self.store.release(node.key), error)
                 continue
+            self.tracer.job_dispatched(node.key,
+                                       stolen_by=rid if victim else None)
             if victim is not None:
                 self.telemetry.job_event(node.key, "steal",
                                          request_id=victim, thief=rid)
@@ -332,6 +350,7 @@ class ServiceScheduler:
         if event.kind == "started":
             self.telemetry.job_event(key, "started", owner,
                                      attempt=event.attempts)
+            self.tracer.job_started(key)
             return
         if event.kind == "retry":
             self.telemetry.job_event(key, "retry", owner,
@@ -345,6 +364,7 @@ class ServiceScheduler:
             self._in_use[owner] = max(0, self._in_use[owner] - 1)
 
         if event.kind == "ok":
+            commit_started = time.monotonic()
             try:
                 waiters = self.store.complete(key, event.payload,
                                               leaf=True)
@@ -361,6 +381,7 @@ class ServiceScheduler:
                 self.telemetry.job_event(key, "failed", owner,
                                          attempts=event.attempts,
                                          error=error)
+                self.tracer.job_finished(key, ok=False, error=error)
                 self._fail_waiters(self.store.release(key), error)
                 return
             self._journal_safe("job_completed", key)
@@ -371,6 +392,9 @@ class ServiceScheduler:
             self.telemetry.job_event(
                 key, "ok", owner, attempts=event.attempts,
                 duration_s=round(event.wall_time, 4))
+            self.tracer.job_finished(
+                key, ok=True,
+                commit_s=time.monotonic() - commit_started)
             for request_id, node_key in waiters:
                 state = self._requests.get(request_id)
                 if state is None:
@@ -388,6 +412,8 @@ class ServiceScheduler:
                                      error=event.error)
             self.telemetry.job_event(key, event.kind, owner,
                                      attempts=event.attempts,
+                                     error=_last_line(event.error))
+            self.tracer.job_finished(key, ok=False,
                                      error=_last_line(event.error))
             self._fail_waiters(waiters, _last_line(event.error))
 
@@ -419,6 +445,7 @@ class ServiceScheduler:
             progressed = False
             for node in graph.ready_syntheses():
                 progressed = True
+                synth_us = self.tracer.now_us()
                 payload = self.store.get(node.key)
                 if payload is None:
                     try:
@@ -430,12 +457,17 @@ class ServiceScheduler:
                         self.telemetry.job_event(node.key, "failed",
                                                  state.request_id,
                                                  error=str(exc))
+                        self.tracer.synthesized(state.request_id,
+                                                node.key, node.label,
+                                                synth_us, error=str(exc))
                         self._poison_from(state, node.key)
                         continue
                     self.store.put_synthesis(node.key, payload)
                 node.state = "done"
                 self.telemetry.job_event(node.key, "synthesized",
                                          state.request_id)
+                self.tracer.synthesized(state.request_id, node.key,
+                                        node.label, synth_us)
         if state.status == "running" and graph.terminal:
             state.status = "failed" if graph.failed else "done"
             self._journal_safe("request_finished", state.request_id,
@@ -443,6 +475,7 @@ class ServiceScheduler:
             self.telemetry.request_event(state.request_id,
                                          state.request.kind, state.status,
                                          jobs=len(graph.leaves()))
+            self.tracer.request_finished(state.request_id, state.status)
 
     def _journal_safe(self, method: str, *args) -> None:
         """Journal a mid-flight transition; on an I/O failure, disable
@@ -561,6 +594,29 @@ class ServiceScheduler:
                              "pending": self.executor.pending_count,
                              "active": self.executor.active_count},
                 "store": self.store.stats(),
+            }
+
+    def gauges(self) -> dict:
+        """Live scheduler gauges for the ``/metrics/prom`` exposition:
+        per-running-request ready-deque depth, busy workers, executor
+        pending/slots, in-flight single-flight claims, telemetry-ring
+        occupancy/capacity, and request counts by status."""
+        with self._lock:
+            ready = {rid: len(queue)
+                     for rid, queue in self._queues.items()
+                     if self._requests[rid].status == "running"}
+            requests: Dict[str, int] = {}
+            for state in self._requests.values():
+                requests[state.status] = requests.get(state.status, 0) + 1
+            return {
+                "ready_depth": ready,
+                "busy_workers": self.executor.active_count,
+                "executor_pending": self.executor.pending_count,
+                "executor_slots": self.executor.slots,
+                "inflight_claims": self.store.stats()["inflight"],
+                "ring_occupancy": self.telemetry.occupancy(),
+                "ring_capacity": self.telemetry.capacity,
+                "requests": requests,
             }
 
     def overview(self) -> dict:

@@ -34,6 +34,14 @@ class ServiceTelemetry:
         self._records: Deque[dict] = deque(maxlen=max(1, capacity))
         self._seq = 0
         self._counts: Dict[str, int] = {}
+        # JSONL mirroring happens *outside* the ring lock: a slow disk
+        # write must not block the scheduler thread and every submit
+        # handler that is waiting to append to the ring. Records are
+        # staged under the ring lock (preserving seq order) and drained
+        # under the mirror lock, which also serialises writers —
+        # MetricStream is not itself thread-safe.
+        self._mirror_lock = threading.Lock()
+        self._pending_mirror: list = []
 
     def _emit(self, kind: str, **fields) -> dict:
         record = {"schema": METRIC_SCHEMA_VERSION, "kind": kind, **fields}
@@ -45,14 +53,32 @@ class ServiceTelemetry:
             event = record.get("event", "")
             label = f"{kind}.{event}" if event else kind
             self._counts[label] = self._counts.get(label, 0) + 1
-            # mirrored under the lock: MetricStream is not itself
-            # thread-safe and both the scheduler thread and the daemon's
-            # submit handlers emit here
-            stream = current_metric_stream()
-            if stream is not None:
-                stream.emit(kind, **{k: v for k, v in record.items()
-                                     if k not in ("schema", "kind")})
+            self._pending_mirror.append(record)
+        self._flush_mirror()
         return record
+
+    def _flush_mirror(self) -> None:
+        """Drain staged records to the ambient JSONL stream, if any.
+
+        Taking the mirror lock *before* draining the staging list keeps
+        the JSONL file in seq order even when several threads emit
+        concurrently: whichever thread holds the mirror lock drains
+        everything staged so far and writes it in order; later emitters
+        find their records already flushed (an empty drain is free).
+        """
+        with self._mirror_lock:
+            with self._lock:
+                if not self._pending_mirror:
+                    return
+                batch = self._pending_mirror
+                self._pending_mirror = []
+            stream = current_metric_stream()
+            if stream is None:
+                return
+            for record in batch:
+                stream.emit(record["kind"],
+                            **{k: v for k, v in record.items()
+                               if k not in ("schema", "kind")})
 
     # -- producers --------------------------------------------------------
 
@@ -81,6 +107,11 @@ class ServiceTelemetry:
                           leaves_requeued=leaves_requeued,
                           claims_reaped=claims_reaped, **extra)
 
+    def span_event(self, **fields) -> dict:
+        """One ``trace_span`` record (see :mod:`repro.obs.spans`);
+        emitted in a batch by the tracer when a request turns terminal."""
+        return self._emit("trace_span", **fields)
+
     # -- consumers --------------------------------------------------------
 
     def records(self, kind: Optional[str] = None,
@@ -105,6 +136,16 @@ class ServiceTelemetry:
     def seq(self) -> int:
         with self._lock:
             return self._seq
+
+    @property
+    def capacity(self) -> int:
+        """Ring capacity (``maxlen``); records beyond it evict oldest."""
+        return self._records.maxlen or 0
+
+    def occupancy(self) -> int:
+        """Records currently buffered (<= :attr:`capacity`)."""
+        with self._lock:
+            return len(self._records)
 
     @property
     def oldest_seq(self) -> int:

@@ -39,6 +39,9 @@ def good_record(kind="result", **overrides):
                                 event="accepted", jobs=4),
         "service_job": dict(key="v3-leela-400-400-1234-abc", event="started",
                             request_id="r0001-abc"),
+        "trace_span": dict(trace_id="r0001-abc", span_id="s1",
+                           parent_id="s0", name="execute",
+                           start_us=1000, duration_us=250),
         "service_recovery": dict(event="resumed", requests_resumed=1,
                                  leaves_rehydrated=2, leaves_requeued=1,
                                  claims_reaped=1),
